@@ -1,0 +1,45 @@
+"""Extension benchmark: sparsity-aware selective communication (the
+paper's stated future work).
+
+For sliding-window masks over contiguous shards, most ring-circulated KV
+is never read.  Point-to-point selective fetch cuts forward KV volume to
+the mask's live bandwidth — at a locality/balance trade-off the table
+makes explicit (striped/blockwise partitions balance compute but destroy
+communication sparsity)."""
+
+import numpy as np
+
+from repro.attention.selective import communication_savings
+from repro.experiments.extensions import ext_selective_comm
+from repro.masks import SlidingWindowMask
+from repro.partition import BlockwisePartitioner, ContiguousPartitioner
+
+
+def test_ext_selective_volumes(benchmark, record_table):
+    result = benchmark(ext_selective_comm)
+    record_table(result)
+    saved = [float(r[3].rstrip("%")) for r in result.rows]
+    # savings shrink monotonically as the window widens
+    assert saved == sorted(saved, reverse=True)
+    assert saved[0] > 85.0  # 32K window over 1M: >85% of KV never needed
+
+
+def test_ext_selective_balance_tradeoff(benchmark):
+    """Balanced partitions destroy communication sparsity."""
+    n, g = 4096, 8
+    mask = SlidingWindowMask(n // g)
+
+    def savings():
+        contig = communication_savings(mask, ContiguousPartitioner().indices(n, g))
+        blockw = communication_savings(
+            mask, BlockwisePartitioner(block_size=n // g).indices(n, g)
+        )
+        return contig, blockw
+
+    contig, blockw = benchmark(savings)
+    assert contig > 0.5
+    assert blockw == 0.0
+
+
+if __name__ == "__main__":
+    print(ext_selective_comm().format())

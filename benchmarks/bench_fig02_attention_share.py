@@ -1,0 +1,17 @@
+"""Figure 2: attention's share of end-to-end training time vs sequence
+length (7B model).  Paper shape: minor at 8K, dominant past 128K, >90%
+at 1M."""
+
+from repro.experiments import fig02_attention_share
+
+
+def test_fig02_attention_share(benchmark, record_table):
+    result = benchmark(fig02_attention_share)
+    record_table(result)
+    shares = [float(v) for v in result.column("attention_%")]
+    assert shares == sorted(shares)
+    assert shares[-1] > 90.0
+
+
+if __name__ == "__main__":
+    print(fig02_attention_share().format())

@@ -1,0 +1,22 @@
+"""Figure 13: peak per-GPU memory across the Fig. 12 grid.  Paper shape:
+BurstEngine lowest (26.4% / 24.2% below the speed-tuned baseline at
+7B/14B on 32 GPUs); only BurstEngine fits every 64-GPU cell; its
+footprint stays nearly flat as GPUs and sequence scale together."""
+
+from repro.experiments import fig13_peak_memory
+
+
+def test_fig13_peak_memory(benchmark, record_table):
+    result = benchmark.pedantic(fig13_peak_memory, rounds=3, iterations=1)
+    record_table(result)
+    burst = {r[0]: float(r[2]) for r in result.rows if r[1] == "BurstEngine"}
+    # every burst cell fits in 80 GB
+    assert all(v < 80 for v in burst.values())
+    # near-linear sequence scaling: 32->64 GPU footprints within 20%
+    assert abs(burst["14B/64GPU/2M"] - burst["14B/32GPU/1M"]) < 0.2 * burst[
+        "14B/32GPU/1M"
+    ]
+
+
+if __name__ == "__main__":
+    print(fig13_peak_memory().format())

@@ -1,0 +1,18 @@
+"""Table 1: communication-time formulas of RingAttention, DoubleRing and
+BurstAttention evaluated on the A800 cluster link specs.  Paper shape:
+burst < double-ring < ring at every sequence length, with the gap driven
+by intra/inter overlap and Algorithm 2's smaller payload."""
+
+from repro.experiments import tab01_comm_time
+
+
+def test_tab01_comm_time(benchmark, record_table):
+    result = benchmark(tab01_comm_time)
+    record_table(result)
+    for row in result.rows:
+        ring, dbl, burst = float(row[1]), float(row[2]), float(row[3])
+        assert burst < dbl < ring
+
+
+if __name__ == "__main__":
+    print(tab01_comm_time().format())

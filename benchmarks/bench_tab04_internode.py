@@ -1,0 +1,19 @@
+"""Table 4: inter-node scalability (2/4/8 nodes, 32K tokens/GPU, offload
+off).  Paper shape: MFU flat (~53%), TGS halves per node doubling,
+memory per GPU stable."""
+
+from repro.experiments import tab04_internode
+
+
+def test_tab04_internode(benchmark, record_table):
+    result = benchmark.pedantic(tab04_internode, rounds=3, iterations=1)
+    record_table(result)
+    mfus = [float(r[2]) for r in result.rows]
+    tgs = [float(r[3]) for r in result.rows]
+    assert max(mfus) - min(mfus) < 2.0
+    assert tgs[0] / tgs[1] == __import__("pytest").approx(2.0, rel=0.1)
+    assert tgs[1] / tgs[2] == __import__("pytest").approx(2.0, rel=0.1)
+
+
+if __name__ == "__main__":
+    print(tab04_internode().format())

@@ -1,0 +1,42 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark regenerates one table/figure through
+:mod:`repro.experiments` (timed by pytest-benchmark as a regression
+guard) and registers the resulting rows here; a terminal-summary hook
+prints every reproduced table at the end of the run, so
+``pytest benchmarks/ --benchmark-only`` output contains the same rows the
+paper reports.  Tables are also written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+_RESULTS: list = []
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def record_table():
+    """Register an ExperimentResult for the end-of-run report."""
+
+    def _record(result):
+        _RESULTS.append(result)
+        os.makedirs(_RESULTS_DIR, exist_ok=True)
+        path = os.path.join(_RESULTS_DIR, f"{result.exp_id}.txt")
+        with open(path, "w") as fh:
+            fh.write(result.format() + "\n")
+        return result
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RESULTS:
+        return
+    terminalreporter.write_sep("=", "reproduced paper tables & figures")
+    for result in sorted(_RESULTS, key=lambda r: r.exp_id):
+        terminalreporter.write_line(result.format())
+        terminalreporter.write_line("")

@@ -1,0 +1,87 @@
+"""Modern attention variants on the distributed stack: ALiBi + GQA.
+
+Demonstrates two extensions beyond the paper:
+
+1. **ALiBi position bias** — encoded as a mask-with-bias, so the ring
+   circulation, balanced partitions, and checkpointing all support it
+   without special cases; the distributed output is verified against the
+   dense reference live.
+2. **Grouped-query attention** — fewer KV heads shrink the ring's KV
+   payload, flipping the Algorithm 1 / Algorithm 2 trade-off the paper
+   optimised for MHA.  The adaptive engine measures both and picks.
+
+Run:  python examples/alibi_gqa.py
+"""
+
+import numpy as np
+
+from repro.attention import get_method
+from repro.attention.gqa import backward_comm_elems, choose_backward_algorithm
+from repro.engine import BurstEngine, EngineConfig, Trainer
+from repro.kernels import attention_reference
+from repro.masks import ALiBiMask
+from repro.nn import TransformerConfig, WarmupCosineLR
+from repro.topology import a800_node, make_cluster
+from repro.utils import format_table
+
+
+def alibi_demo() -> None:
+    print("== ALiBi through the distributed ring ==")
+    topo = make_cluster(8, node=a800_node(gpus_per_node=4))
+    h, n, d = 4, 64, 8
+    rng = np.random.default_rng(0)
+    q, k, v = (rng.normal(size=(h, n, d)) for _ in range(3))
+    mask = ALiBiMask(h)
+    res = get_method("burst", block_size=16).run(topo, q, k, v, mask=mask)
+    o_ref, _ = attention_reference(q, k, v, mask=mask.dense(n),
+                                   bias=mask.dense_bias(n))
+    print(f"slopes: {np.round(mask.slopes, 4)}")
+    print(f"distributed vs dense max error: {np.abs(res.o - o_ref).max():.2e}")
+
+
+def gqa_tradeoff_demo() -> None:
+    print("\n== GQA flips the backward-payload trade-off ==")
+    rows = []
+    for hq, hkv in [(32, 32), (32, 8), (64, 8), (32, 1)]:
+        alg1 = backward_comm_elems("alg1", 1 << 20, 128, hq, hkv)
+        alg2 = backward_comm_elems("alg2", 1 << 20, 128, hq, hkv)
+        rows.append([
+            f"{hq}q/{hkv}kv", f"{alg1 / 1e9:.2f}", f"{alg2 / 1e9:.2f}",
+            choose_backward_algorithm(128, hq, hkv),
+        ])
+    print(format_table(
+        ["heads", "Alg.1 Gelem", "Alg.2 (burst) Gelem", "adaptive pick"], rows
+    ))
+
+
+def gqa_training_demo() -> None:
+    print("\n== training a GQA + ALiBi model distributed ==")
+    topo = make_cluster(4, node=a800_node(gpus_per_node=4))
+    config = EngineConfig(
+        model=TransformerConfig(
+            vocab_size=64, dim=32, n_layers=2, n_heads=8, n_kv_heads=2,
+            ffn_hidden=48, max_seq_len=64, attn_block_size=16,
+            mask=ALiBiMask(8),
+        ),
+        method="burst",
+        method_kwargs={"adaptive_backward": True},
+        lr=3e-3,
+    )
+    engine = BurstEngine(config, topology=topo)
+    rng = np.random.default_rng(1)
+    ids = rng.integers(0, 64, size=32)
+    trainer = Trainer(
+        engine, schedule=WarmupCosineLR(3e-3, warmup_steps=3, total_steps=20)
+    )
+    trainer.fit([(ids, np.roll(ids, -1))], steps=20)
+    first, last = trainer.history[0], trainer.history[-1]
+    print(f"loss {first.loss:.3f} -> {last.loss:.3f} over 20 steps "
+          f"(lr {first.lr:.2e} -> {last.lr:.2e})")
+    bwd = engine.comm.log.total_elems(phase="attn-bwd")
+    print(f"backward ring traffic (adaptive Alg.1 under 4x GQA): {bwd:,} elements")
+
+
+if __name__ == "__main__":
+    alibi_demo()
+    gqa_tradeoff_demo()
+    gqa_training_demo()

@@ -1,0 +1,79 @@
+"""Long-range recall: prove the distributed stack actually learns to use
+its context window.
+
+Trains a tiny model with BurstEngine on two synthetic tasks whose labels
+are impossible to predict without long-range attention — a copy task
+(second half repeats the first) and needle-in-a-haystack retrieval — and
+reports recall accuracy before/after training.
+
+Run:  python examples/long_range_recall.py
+"""
+
+import numpy as np
+
+from repro.data import (
+    copy_task,
+    copy_task_recall_positions,
+    needle_task,
+    recall_accuracy,
+)
+from repro.engine import BurstEngine, EngineConfig
+from repro.nn import TransformerConfig
+from repro.nn.tensor import no_grad
+from repro.topology import a800_node, make_cluster
+
+
+def make_engine(vocab: int, seq: int) -> BurstEngine:
+    return BurstEngine(
+        EngineConfig(
+            model=TransformerConfig(
+                vocab_size=vocab, dim=32, n_layers=2, n_heads=4,
+                ffn_hidden=48, max_seq_len=seq, attn_block_size=16,
+            ),
+            lr=5e-3,
+        ),
+        topology=make_cluster(4, node=a800_node(gpus_per_node=4)),
+    )
+
+
+def run_copy() -> None:
+    vocab, seq = 16, 32
+    engine = make_engine(vocab, seq)
+    ids, targets = copy_task(seq, vocab, seed=7)
+    positions = copy_task_recall_positions(seq)
+    print("== copy task ==")
+    print(f"predicting the copy region requires attending {seq // 2} tokens back")
+    acc = recall_accuracy(engine.model, ids, targets, positions)
+    print(f"step   0: loss=?       recall={acc * 100:5.1f}% (chance {100 / vocab:.1f}%)")
+    for step in range(1, 81):
+        res = engine.train_step(ids, targets)
+        if step % 20 == 0:
+            acc = recall_accuracy(engine.model, ids, targets, positions)
+            print(f"step {step:3d}: loss={res.loss:6.3f} recall={acc * 100:5.1f}%")
+
+
+def run_needle() -> None:
+    vocab, seq = 16, 32
+    engine = make_engine(vocab, seq)
+    print("\n== needle in a haystack ==")
+    cases = [needle_task(seq, vocab, needle_pos=p, seed=p) for p in (1, 3, 5)]
+    for step in range(121):
+        for ids, targets, _ in cases:
+            engine.train_step(ids, targets)
+        if step % 40 == 0:
+            hits = 0
+            for ids, targets, value in cases:
+                with no_grad():
+                    pred = engine.model.logits(ids).data[-1].argmax()
+                hits += int(pred == value)
+            print(f"step {step:3d}: retrieved {hits}/{len(cases)} needles")
+
+
+def main() -> None:
+    np.random.seed(0)
+    run_copy()
+    run_needle()
+
+
+if __name__ == "__main__":
+    main()

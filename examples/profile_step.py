@@ -1,0 +1,52 @@
+"""Profile the communication of a real training step.
+
+Runs one BurstEngine step on the simulated cluster, then turns the
+measured traffic log into a per-phase, per-link report (bytes, transfer
+counts, busiest-rank time on each link) — the workflow for answering
+"where does my step's communication actually go?".
+
+Run:  python examples/profile_step.py
+"""
+
+import numpy as np
+
+from repro.engine import BurstEngine, EngineConfig
+from repro.nn import TransformerConfig
+from repro.perf.profile import profile_report, profile_traffic
+from repro.topology import a800_node, make_cluster
+from repro.utils import format_bytes
+
+
+def main() -> None:
+    topology = make_cluster(8, node=a800_node(gpus_per_node=4))
+    engine = BurstEngine(
+        EngineConfig(
+            model=TransformerConfig(
+                vocab_size=128, dim=32, n_layers=3, n_heads=4,
+                ffn_hidden=64, max_seq_len=128, attn_block_size=32,
+            ),
+        ),
+        topology=topology,
+    )
+    rng = np.random.default_rng(0)
+    ids = rng.integers(0, 128, size=64)
+    result = engine.train_step(ids, np.roll(ids, -1))
+    print(f"cluster: {topology.describe()}")
+    print(f"one step: loss={result.loss:.4f}, "
+          f"total comm={format_bytes(result.step_comm_bytes)}\n")
+
+    print(profile_report(engine.comm.log, topology))
+
+    profiles = profile_traffic(engine.comm.log, topology)
+    print("\ncommunication-bound lower bounds per phase:")
+    for phase, prof in sorted(profiles.items()):
+        print(f"  {phase:10s} {prof.bound_time * 1e3:8.3f} ms "
+              f"({format_bytes(prof.total_bytes)})")
+    dominant = max(profiles.values(), key=lambda p: p.total_bytes)
+    print(f"\ndominant phase by volume: {dominant.phase} — at small scale "
+          "FSDP parameter movement dwarfs attention traffic, which is the "
+          "paper's end-to-end observation in miniature")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Quickstart: train a tiny LLaMA-style model with BurstEngine on a
+simulated 2-node x 4-GPU cluster.
+
+Demonstrates the full stack working together numerically:
+BurstAttention (Algorithm 2 backward) over the topology-aware double
+ring, sequence-level selective checkpointing, the fused LM head + loss,
+and FSDP traffic accounting — and that the loss actually goes down.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.engine import BurstEngine, EngineConfig
+from repro.nn import CheckpointPolicy, TransformerConfig
+from repro.nn.checkpoint import CheckpointMode
+from repro.topology import a800_node, make_cluster
+from repro.utils import format_bytes
+
+
+def main() -> None:
+    topology = make_cluster(8, node=a800_node(gpus_per_node=4))
+    print(f"cluster: {topology.describe()}")
+
+    config = EngineConfig(
+        model=TransformerConfig(
+            vocab_size=128,
+            dim=32,
+            n_layers=2,
+            n_heads=4,
+            ffn_hidden=64,
+            max_seq_len=128,
+            attn_block_size=32,
+        ),
+        method="burst",
+        checkpoint=CheckpointPolicy(CheckpointMode.SEQUENCE_LEVEL, 0.5),
+        head_impl="fused",
+        lr=3e-3,
+    )
+    engine = BurstEngine(config, topology=topology)
+    print(
+        f"model: {engine.model.num_parameters():,} parameters, "
+        f"method: {config.method}, checkpoint: {config.checkpoint.mode.value}"
+    )
+
+    rng = np.random.default_rng(0)
+    ids = rng.integers(0, 128, size=64)
+    targets = np.roll(ids, -1)
+
+    print("\nstep  loss     attn-comm/step  peak-activations")
+    for step in range(10):
+        result = engine.train_step(ids, targets)
+        print(
+            f"{step:4d}  {result.loss:7.4f}  "
+            f"{format_bytes(result.step_comm_bytes):>14s}  "
+            f"{format_bytes(result.peak_activation_bytes):>14s}"
+        )
+
+    log = engine.comm.log
+    print("\ncommunication by phase (whole run):")
+    print(log.summary())
+    print(
+        "\nBurstAttention backward moved "
+        f"{log.total_elems(phase='attn-bwd'):,} elements "
+        "(3Nd + 2N per GPU per layer pass — 25% below RingAttention's 4Nd)"
+    )
+
+
+if __name__ == "__main__":
+    main()

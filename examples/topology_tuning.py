@@ -1,0 +1,83 @@
+"""Topology-aware communication tuning (Section 3.1 / Table 1 / Fig. 4).
+
+Compares the flat global ring against the topology-aware double ring on
+clusters of different shapes, using *measured traffic* from the simulated
+communicator (who crossed which link) and the Table 1 timing formulas —
+the analysis behind BurstAttention's ring design.
+
+Run:  python examples/topology_tuning.py
+"""
+
+import numpy as np
+
+from repro.attention import get_method
+from repro.comm import SimCommunicator, double_ring_schedule, global_ring_schedule
+from repro.masks import CausalMask
+from repro.perf.cost import table1_comm_times
+from repro.topology import LinkClass, a800_node, make_cluster
+from repro.utils import format_bytes, format_table
+
+
+def measured_traffic(topology, schedule_name: str):
+    """Run a real BurstAttention pass and split traffic by link class."""
+    g = topology.world_size
+    rng = np.random.default_rng(0)
+    q, k, v, do = (rng.normal(size=(2, g * 16, 8)) for _ in range(4))
+    method = get_method(
+        "burst" if schedule_name == "double" else "megatron-cp", block_size=16
+    )
+    res = method.run(topology, q, k, v, mask=CausalMask(), do=do)
+    log = res.comm.log
+    return (
+        log.total_bytes(link=LinkClass.INTRA),
+        log.total_bytes(link=LinkClass.INTER),
+    )
+
+
+def main() -> None:
+    shapes = [(2, 4), (4, 8), (8, 8)]
+    rows = []
+    for nodes, gpn in shapes:
+        topology = make_cluster(nodes * gpn, node=a800_node(gpus_per_node=gpn))
+        flat_intra, flat_inter = measured_traffic(topology, "flat")
+        dbl_intra, dbl_inter = measured_traffic(topology, "double")
+        rows.append([
+            f"{nodes}x{gpn}",
+            format_bytes(flat_inter), format_bytes(dbl_inter),
+            f"{flat_inter / max(dbl_inter, 1):.1f}x",
+        ])
+    print("inter-node traffic of one attention layer pass (fwd+bwd):")
+    print(format_table(
+        ["cluster", "flat ring", "double ring", "reduction"], rows
+    ))
+
+    print("\nprojected communication time (Table 1 formulas, 14B config, 1M):")
+    rows = []
+    for nodes, gpn in shapes:
+        topology = make_cluster(nodes * gpn, node=a800_node(gpus_per_node=gpn))
+        t = table1_comm_times(topology, 1 << 20, 5120)
+        rows.append([
+            f"{nodes}x{gpn}",
+            f"{t['ring'] * 1e3:.1f}", f"{t['double_ring'] * 1e3:.1f}",
+            f"{t['burst'] * 1e3:.1f}",
+            f"{t['ring'] / t['burst']:.2f}x",
+        ])
+    print(format_table(
+        ["cluster", "ring ms", "double ms", "burst ms", "ring/burst"], rows
+    ))
+
+    print("\nring schedules on a 2x4 cluster (transition link classes):")
+    topology = make_cluster(8, node=a800_node(gpus_per_node=4))
+    for name, sched in (
+        ("flat", global_ring_schedule(topology)),
+        ("double", double_ring_schedule(topology)),
+    ):
+        classes = [
+            sched.transition_link_class(t).value[:5]
+            for t in range(len(sched.transitions))
+        ]
+        print(f"  {name:7s} {' '.join(classes)}")
+
+
+if __name__ == "__main__":
+    main()

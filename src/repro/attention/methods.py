@@ -1,0 +1,440 @@
+"""Uniform facade over the five distributed attention systems.
+
+Each method bundles a partitioner, a communication schedule, and forward /
+backward algorithms behind one interface, so the engine, the tests, and the
+benchmarks can swap systems with a string name:
+
+=====================  ============  ==============  ===========  ==========
+name                   partition     schedule        backward     heads req.
+=====================  ============  ==============  ===========  ==========
+``megatron-cp``        zigzag        flat ring       Alg. 1       —
+``loongtrain-double``  zigzag        double ring     Alg. 1       —
+``burst``              striped*      double ring     Alg. 2       —
+``ulysses``            contiguous    all-to-all      local        H % G == 0
+``usp``                zigzag(ring)  a2a + ring      Alg. 1       H % u == 0
+=====================  ============  ==============  ===========  ==========
+
+(*) The paper's pilot experiments found striped integration slightly better
+for BurstEngine; zigzag is available via the ``partitioner`` argument.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attention.burst import burst_attention_backward
+from repro.attention.ring import ring_attention_backward_kv, ring_attention_forward
+from repro.attention.ulysses import ulysses_attention_backward, ulysses_attention_forward
+from repro.attention.usp import USPGrid, usp_attention_backward, usp_attention_forward
+from repro.comm import (
+    SimCommunicator,
+    double_ring_schedule,
+    global_ring_schedule,
+)
+from repro.masks import MaskPattern
+from repro.partition import (
+    ContiguousPartitioner,
+    Partitioner,
+    StripedPartitioner,
+    ZigzagPartitioner,
+)
+from repro.topology import ClusterTopology
+
+
+@dataclass
+class AttentionResult:
+    """Outputs of a full distributed attention pass on full arrays."""
+
+    o: np.ndarray
+    lse: np.ndarray
+    dq: np.ndarray | None = None
+    dk: np.ndarray | None = None
+    dv: np.ndarray | None = None
+    comm: SimCommunicator | None = None
+
+    @property
+    def traffic(self):
+        return self.comm.log if self.comm is not None else None
+
+
+class DistributedAttention(ABC):
+    """Base class: scatter full arrays, run the distributed pass, gather."""
+
+    name: str = "base"
+    supports_context_rebuild = False
+
+    def __init__(self, partitioner: Partitioner, block_size: int = 128):
+        self.partitioner = partitioner
+        self.block_size = block_size
+
+    # -- shard-level API (used by the engine) --------------------------------
+
+    @abstractmethod
+    def forward_shards(self, comm, qs, ks, vs, idxs, mask, scale):
+        """Run the forward pass on shards; returns ``(os, lses, ctx)``."""
+
+    @abstractmethod
+    def backward_shards(self, comm, ctx, dos):
+        """Run the backward pass; returns ``(dqs, dks, dvs)``."""
+
+    # -- full-array convenience API ------------------------------------------
+
+    def shard(self, x: np.ndarray, g: int) -> list[np.ndarray]:
+        return self.partitioner.scatter(x, g, axis=-2)
+
+    def indices(self, n: int, g: int) -> list[np.ndarray]:
+        return self.partitioner.indices(n, g)
+
+    def run(
+        self,
+        topology: ClusterTopology,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        mask: MaskPattern | None = None,
+        do: np.ndarray | None = None,
+        scale: float | None = None,
+        comm: SimCommunicator | None = None,
+    ) -> AttentionResult:
+        """Execute a full pass on unsharded ``(H, N, D)`` (or ``(N, D)``)
+        arrays and gather the results back; ``do`` triggers the backward
+        pass as well."""
+        if comm is None:
+            comm = SimCommunicator(topology)
+        g = topology.world_size
+        n = q.shape[-2]
+        idxs = self.indices(n, g)
+        qs, ks, vs = self.shard(q, g), self.shard(k, g), self.shard(v, g)
+        os, lses, ctx = self.forward_shards(comm, qs, ks, vs, idxs, mask, scale)
+        result = AttentionResult(
+            o=self.partitioner.gather(os, axis=-2),
+            lse=self.partitioner.gather(
+                [l[..., None] for l in lses], axis=-2
+            )[..., 0],
+            comm=comm,
+        )
+        if do is not None:
+            dos = self.shard(do, g)
+            dqs, dks, dvs = self.backward_shards(comm, ctx, dos)
+            result.dq = self.partitioner.gather(dqs, axis=-2)
+            result.dk = self.partitioner.gather(dks, axis=-2)
+            result.dv = self.partitioner.gather(dvs, axis=-2)
+        return result
+
+
+@dataclass
+class _RingContext:
+    schedule: object
+    qs: list
+    ks: list
+    vs: list
+    os: list
+    lses: list
+    idxs: list
+    mask: MaskPattern | None
+    scale: float | None
+    groups: int = 1
+
+
+class _RingFamilyMethod(DistributedAttention):
+    """Common scaffolding for flat-ring / double-ring methods."""
+
+    backward_algorithm: str = "alg1"
+    #: Ring-family backward needs only (q, k, v, o, lse) shards, so a
+    #: backward context can be rebuilt from full arrays — this is what lets
+    #: checkpoint policies skip the distributed forward on recomputation.
+    supports_context_rebuild = True
+
+    def make_context(self, comm, qs, ks, vs, os, lses, idxs, mask, scale):
+        """Rebuild the backward context from shards (no communication)."""
+        return _RingContext(
+            self._schedule(comm.topology), list(qs), list(ks), list(vs),
+            list(os), list(lses), list(idxs), mask, scale,
+            self._groups_of(qs, ks),
+        )
+
+    def _schedule(self, topology: ClusterTopology):
+        raise NotImplementedError
+
+    @staticmethod
+    def _groups_of(qs, ks) -> int:
+        hq = qs[0].shape[0] if qs[0].ndim == 3 else 1
+        hkv = ks[0].shape[0] if ks[0].ndim == 3 else 1
+        if hq == hkv:
+            return 1
+        if hkv == 0 or hq % hkv != 0:
+            raise ValueError(
+                f"{hq} query heads not divisible by {hkv} KV heads"
+            )
+        return hq // hkv
+
+    def _resolve_backward(self, groups: int, head_dim: int, n_q_heads: int) -> str:
+        if self.backward_algorithm != "adaptive":
+            return self.backward_algorithm
+        from repro.attention.gqa import choose_backward_algorithm
+
+        return choose_backward_algorithm(
+            head_dim, n_q_heads, n_q_heads // groups
+        )
+
+    def forward_shards(self, comm, qs, ks, vs, idxs, mask, scale):
+        schedule = self._schedule(comm.topology)
+        groups = self._groups_of(qs, ks)
+        if groups == 1:
+            os, lses = ring_attention_forward(
+                comm, schedule, qs, ks, vs, idxs, mask=mask, scale=scale,
+                block_size=self.block_size,
+            )
+        else:
+            from repro.attention.gqa import gqa_ring_forward
+
+            os, lses = gqa_ring_forward(
+                comm, schedule, qs, ks, vs, idxs, groups, mask=mask,
+                scale=scale, block_size=self.block_size,
+            )
+        ctx = _RingContext(schedule, list(qs), list(ks), list(vs), os, lses,
+                           list(idxs), mask, scale, groups)
+        return os, lses, ctx
+
+    def backward_shards(self, comm, ctx, dos):
+        groups = ctx.groups
+        algorithm = self._resolve_backward(
+            groups, ctx.qs[0].shape[-1],
+            ctx.qs[0].shape[0] if ctx.qs[0].ndim == 3 else 1,
+        )
+        if groups > 1:
+            from repro.attention.gqa import gqa_burst_backward, gqa_ring_backward_kv
+
+            fn = gqa_burst_backward if algorithm == "alg2" else gqa_ring_backward_kv
+            return fn(
+                comm, ctx.schedule, ctx.qs, ctx.ks, ctx.vs, ctx.os, ctx.lses,
+                dos, ctx.idxs, groups, mask=ctx.mask, scale=ctx.scale,
+                block_size=self.block_size,
+            )
+        backward = (
+            burst_attention_backward
+            if algorithm == "alg2"
+            else ring_attention_backward_kv
+        )
+        return backward(
+            comm, ctx.schedule, ctx.qs, ctx.ks, ctx.vs, ctx.os, ctx.lses,
+            dos, ctx.idxs, mask=ctx.mask, scale=ctx.scale,
+            block_size=self.block_size,
+        )
+
+
+class RingAttentionMethod(_RingFamilyMethod):
+    """Megatron-CP: flat global ring, Algorithm 1, zigzag balance."""
+
+    name = "megatron-cp"
+
+    def __init__(self, partitioner: Partitioner | None = None, block_size: int = 128):
+        super().__init__(partitioner or ZigzagPartitioner(), block_size)
+
+    def _schedule(self, topology):
+        return global_ring_schedule(topology)
+
+
+class DoubleRingMethod(_RingFamilyMethod):
+    """LoongTrain-DoubleRing: two-level ring, Algorithm 1, zigzag balance."""
+
+    name = "loongtrain-double"
+
+    def __init__(self, partitioner: Partitioner | None = None, block_size: int = 128):
+        super().__init__(partitioner or ZigzagPartitioner(), block_size)
+
+    def _schedule(self, topology):
+        return double_ring_schedule(topology)
+
+
+class BurstAttentionMethod(_RingFamilyMethod):
+    """BurstAttention: topology-aware double ring + Algorithm 2 backward.
+
+    Defaults to striped workload balance (the paper's best-performing
+    integration); pass ``ZigzagPartitioner()`` to reproduce the zigzag
+    variant of the ablation.
+    """
+
+    name = "burst"
+    backward_algorithm = "alg2"
+
+    def __init__(
+        self,
+        partitioner: Partitioner | None = None,
+        block_size: int = 128,
+        adaptive_backward: bool = False,
+    ):
+        super().__init__(partitioner or StripedPartitioner(), block_size)
+        if adaptive_backward:
+            # GQA extension: pick Alg. 1 when grouped KV heads make the
+            # circulating KV bundle cheaper than the query-sized one.
+            self.backward_algorithm = "adaptive"
+
+    def _schedule(self, topology):
+        return double_ring_schedule(topology)
+
+
+class UlyssesMethod(DistributedAttention):
+    """DeepSpeed-Ulysses head parallelism (all-to-all)."""
+
+    name = "ulysses"
+
+    def __init__(self, block_size: int = 128):
+        super().__init__(ContiguousPartitioner(), block_size)
+
+    def forward_shards(self, comm, qs, ks, vs, idxs, mask, scale):
+        return ulysses_attention_forward(
+            comm, qs, ks, vs, idxs, mask=mask, scale=scale,
+            block_size=self.block_size,
+        )
+
+    def backward_shards(self, comm, ctx, dos):
+        return ulysses_attention_backward(comm, ctx, dos)
+
+
+class USPMethod(DistributedAttention):
+    """LoongTrain-USP hybrid head+context parallelism.
+
+    ``ulysses_degree`` sets the head-parallel width ``u``; the ring width is
+    ``G / u``.  The sequence is partitioned over ring positions with the
+    ring partitioner (zigzag by default) and each ring shard is subdivided
+    contiguously among the Ulysses peers.
+    """
+
+    name = "usp"
+
+    def __init__(
+        self,
+        ulysses_degree: int,
+        ring_partitioner: Partitioner | None = None,
+        block_size: int = 128,
+        use_burst_backward: bool = False,
+    ):
+        super().__init__(ring_partitioner or ZigzagPartitioner(), block_size)
+        self.ulysses_degree = ulysses_degree
+        self.use_burst_backward = use_burst_backward
+
+    def _grid(self, g: int) -> USPGrid:
+        if g % self.ulysses_degree != 0:
+            raise ValueError(
+                f"world size {g} not divisible by ulysses degree "
+                f"{self.ulysses_degree}"
+            )
+        return USPGrid(self.ulysses_degree, g // self.ulysses_degree)
+
+    def indices(self, n: int, g: int) -> list[np.ndarray]:
+        grid = self._grid(g)
+        u, r = grid.ulysses_degree, grid.ring_degree
+        ring_shards = self.partitioner.indices(n, r)
+        m = n // g
+        out = []
+        for rank in range(g):
+            ring_idx = grid.ring_index(rank)
+            ul = grid.ulysses_index(rank)
+            out.append(ring_shards[ring_idx][ul * m : (ul + 1) * m])
+        return out
+
+    def shard(self, x: np.ndarray, g: int) -> list[np.ndarray]:
+        n = x.shape[-2]
+        return [np.take(x, idx, axis=-2) for idx in self.indices(n, g)]
+
+    def _gather(self, parts: list[np.ndarray], axis: int = -2) -> np.ndarray:
+        g = len(parts)
+        n = sum(p.shape[axis] for p in parts)
+        order = np.concatenate(self.indices(n, g))
+        stacked = np.concatenate(parts, axis=axis)
+        inv = np.empty(n, dtype=np.int64)
+        inv[order] = np.arange(n)
+        return np.take(stacked, inv, axis=axis)
+
+    def run(self, topology, q, k, v, mask=None, do=None, scale=None, comm=None):
+        if comm is None:
+            comm = SimCommunicator(topology)
+        g = topology.world_size
+        n = q.shape[-2]
+        idxs = self.indices(n, g)
+        qs, ks, vs = self.shard(q, g), self.shard(k, g), self.shard(v, g)
+        os, lses, ctx = self.forward_shards(comm, qs, ks, vs, idxs, mask, scale)
+        result = AttentionResult(
+            o=self._gather(os, axis=-2),
+            lse=self._gather([l[..., None] for l in lses], axis=-2)[..., 0],
+            comm=comm,
+        )
+        if do is not None:
+            dos = self.shard(do, g)
+            dqs, dks, dvs = self.backward_shards(comm, ctx, dos)
+            result.dq = self._gather(dqs, axis=-2)
+            result.dk = self._gather(dks, axis=-2)
+            result.dv = self._gather(dvs, axis=-2)
+        return result
+
+    def forward_shards(self, comm, qs, ks, vs, idxs, mask, scale):
+        grid = self._grid(comm.world_size)
+        return usp_attention_forward(
+            comm, grid, qs, ks, vs, idxs, mask=mask, scale=scale,
+            block_size=self.block_size,
+        )
+
+    def backward_shards(self, comm, ctx, dos):
+        return usp_attention_backward(
+            comm, ctx, dos, use_burst_backward=self.use_burst_backward
+        )
+
+
+class SelectiveMethod(DistributedAttention):
+    """Sparsity-aware selective communication (extension; see
+    :mod:`repro.attention.selective`).
+
+    Fetches only the KV shards the mask requires (point-to-point) instead
+    of ring-circulating everything.  Pays off with *contiguous* shards and
+    sparse masks; with balanced partitions every tile is live and it
+    degenerates to all-pairs exchange.
+    """
+
+    name = "selective"
+
+    def __init__(self, partitioner: Partitioner | None = None, block_size: int = 128):
+        super().__init__(partitioner or ContiguousPartitioner(), block_size)
+
+    def forward_shards(self, comm, qs, ks, vs, idxs, mask, scale):
+        from repro.attention.selective import selective_attention_forward
+
+        os, lses = selective_attention_forward(
+            comm, qs, ks, vs, idxs, mask=mask, scale=scale,
+            block_size=self.block_size,
+        )
+        ctx = _RingContext(None, list(qs), list(ks), list(vs), os, lses,
+                           list(idxs), mask, scale)
+        return os, lses, ctx
+
+    def backward_shards(self, comm, ctx, dos):
+        from repro.attention.selective import selective_attention_backward
+
+        return selective_attention_backward(
+            comm, ctx.qs, ctx.ks, ctx.vs, ctx.os, ctx.lses, dos, ctx.idxs,
+            mask=ctx.mask, scale=ctx.scale, block_size=self.block_size,
+        )
+
+
+METHOD_REGISTRY = {
+    "megatron-cp": RingAttentionMethod,
+    "loongtrain-double": DoubleRingMethod,
+    "burst": BurstAttentionMethod,
+    "ulysses": UlyssesMethod,
+    "usp": USPMethod,
+    "selective": SelectiveMethod,
+}
+
+
+def get_method(name: str, **kwargs) -> DistributedAttention:
+    """Instantiate a distributed attention method by registry name."""
+    try:
+        cls = METHOD_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {name!r}; available: {sorted(METHOD_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,195 @@
+"""Ring attention: shared forward pass and the Algorithm 1 backward pass.
+
+**Forward** (all ring-family methods share it): each rank keeps its query
+shard pinned and a ``(K, V)`` bundle circulates along the ring schedule.
+At each of the ``G`` compute steps a rank runs the local FlashAttention
+kernel between its queries and the currently-held KV shard, merging the
+partial ``(O, lse)`` with the online-softmax rule.  Per-rank send volume is
+``(G-1)/G * 2Nd`` elements — the paper's ``2Nd``.
+
+**Backward, Algorithm 1** (RingAttention / Megatron-CP / LoongTrain):
+``(K_j, V_j, dK_j, dV_j)`` circulates; each rank uses its locally stored
+``Q_i, O_i, dO_i, Lse_i`` to accumulate into the circulating ``dK_j, dV_j``
+and its own ``dQ_i``.  The bundle makes a full loop of ``G`` hops so the
+gradients return to their owners: per-rank send volume is exactly ``4Nd``
+elements.
+
+Both functions accept any :class:`~repro.comm.RingSchedule`, so the same
+code runs the flat global ring, the topology-aware double ring, and USP's
+grouped rings; masks are global-index predicates, so zigzag/striped/
+block-balanced partitions are all handled uniformly (empty tiles are
+skipped, full tiles run unmasked — the workload-balance optimisation).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.comm import RingSchedule, SimCommunicator
+from repro.kernels import flash_attention_backward, flash_attention_forward
+from repro.kernels.softmax import NEG_INF, merge_states
+from repro.masks import MaskPattern
+
+
+def _tile_mask(
+    mask: MaskPattern | None, q_idx: np.ndarray, k_idx: np.ndarray
+) -> tuple[np.ndarray | None, bool]:
+    """Resolve the mask tile between two shards.
+
+    Returns ``(tile_or_None, skip)`` — ``skip`` means the tile is entirely
+    masked and contributes nothing; a ``None`` tile with ``skip=False``
+    means unmasked (full) attention, letting the kernel skip mask handling.
+    """
+    if mask is None:
+        return None, False
+    state = mask.tile_state(q_idx, k_idx)
+    if state == "empty":
+        return None, True
+    if state == "full":
+        return None, False
+    return mask.block(q_idx, k_idx), False
+
+
+def _tile_bias(
+    mask: MaskPattern | None, q_idx: np.ndarray, k_idx: np.ndarray
+) -> np.ndarray | None:
+    """Resolve the additive score bias (ALiBi etc.) for a shard pair."""
+    if mask is None:
+        return None
+    return mask.bias_block(q_idx, k_idx)
+
+
+def ring_attention_forward(
+    comm: SimCommunicator,
+    schedule: RingSchedule,
+    qs: Sequence[np.ndarray],
+    ks: Sequence[np.ndarray],
+    vs: Sequence[np.ndarray],
+    idxs: Sequence[np.ndarray],
+    mask: MaskPattern | None = None,
+    scale: float | None = None,
+    *,
+    phase: str = "attn-fwd",
+    block_size: int = 128,
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Distributed attention forward pass over ``schedule``.
+
+    Parameters
+    ----------
+    qs, ks, vs:
+        Per-rank shards, each ``(..., S/G, D)``.
+    idxs:
+        Per-rank global token indices (from the partitioner).  These are
+        static metadata known to every rank, so they are *not* circulated.
+    mask:
+        Optional global mask pattern; tiles are resolved per (rank, step).
+
+    Returns
+    -------
+    (os, lses):
+        Per-rank output shards and logsumexp statistics.
+    """
+    g = comm.world_size
+    if schedule.num_steps != g and schedule.name != "grouped-ring":
+        raise ValueError(
+            f"schedule covers {schedule.num_steps} steps but world size is {g}"
+        )
+    if scale is None:
+        scale = 1.0 / np.sqrt(qs[0].shape[-1])
+    origins = schedule.origins()
+    steps = schedule.num_steps
+
+    os: list[np.ndarray] = [
+        np.zeros(q.shape[:-1] + (vs[i].shape[-1],), dtype=np.float64)
+        for i, q in enumerate(qs)
+    ]
+    lses: list[np.ndarray] = [
+        np.full(q.shape[:-1], NEG_INF, dtype=np.float64) for q in qs
+    ]
+
+    bufs: list[object] = [(ks[r].copy(), vs[r].copy()) for r in range(g)]
+    for t in range(steps):
+        for r in range(g):
+            j = origins[t][r]
+            k_j, v_j = bufs[r]
+            tile, skip = _tile_mask(mask, idxs[r], idxs[j])
+            if skip:
+                continue
+            o_part, lse_part = flash_attention_forward(
+                qs[r], k_j, v_j, mask=tile, scale=scale,
+                block_q=block_size, block_k=block_size,
+                bias=_tile_bias(mask, idxs[r], idxs[j]),
+            )
+            os[r], lses[r] = merge_states(os[r], lses[r], o_part, lse_part)
+        if t < steps - 1:
+            bufs = schedule.apply(comm, bufs, t, phase=phase, tag="kv")
+    return os, lses
+
+
+def ring_attention_backward_kv(
+    comm: SimCommunicator,
+    schedule: RingSchedule,
+    qs: Sequence[np.ndarray],
+    ks: Sequence[np.ndarray],
+    vs: Sequence[np.ndarray],
+    os: Sequence[np.ndarray],
+    lses: Sequence[np.ndarray],
+    dos: Sequence[np.ndarray],
+    idxs: Sequence[np.ndarray],
+    mask: MaskPattern | None = None,
+    scale: float | None = None,
+    *,
+    phase: str = "attn-bwd",
+    block_size: int = 128,
+) -> tuple[list[np.ndarray], list[np.ndarray], list[np.ndarray]]:
+    """Algorithm 1: backward pass circulating ``(K, V, dK, dV)``.
+
+    The circulating bundle is 4 shard-sized arrays; with ``G`` hops
+    (``G - 1`` transitions plus the final return-to-owner permutation) the
+    per-rank send volume is exactly ``4Nd`` elements — the baseline cost
+    BurstAttention's Algorithm 2 improves on.
+
+    Returns per-rank ``(dqs, dks, dvs)``.
+    """
+    g = comm.world_size
+    if scale is None:
+        scale = 1.0 / np.sqrt(qs[0].shape[-1])
+    origins = schedule.origins()
+    steps = schedule.num_steps
+
+    dqs = [np.zeros_like(q) for q in qs]
+    bufs: list[object] = [
+        (ks[r].copy(), vs[r].copy(), np.zeros_like(ks[r]), np.zeros_like(vs[r]))
+        for r in range(g)
+    ]
+
+    for t in range(steps):
+        for r in range(g):
+            j = origins[t][r]
+            k_j, v_j, dk_j, dv_j = bufs[r]
+            tile, skip = _tile_mask(mask, idxs[r], idxs[j])
+            if skip:
+                continue
+            # Note: Algorithm 1 recomputes D_i = rowsum(dO_i * O_i) every
+            # round on the device — the flash kernel below does exactly
+            # that, which is the extra compute Algorithm 2 eliminates.
+            dq_part, dk_part, dv_part = flash_attention_backward(
+                qs[r], k_j, v_j, os[r], lses[r], dos[r],
+                mask=tile, scale=scale,
+                block_q=block_size, block_k=block_size,
+                bias=_tile_bias(mask, idxs[r], idxs[j]),
+            )
+            dqs[r] += dq_part
+            bufs[r] = (k_j, v_j, dk_j + dk_part, dv_j + dv_part)
+        if t < steps - 1:
+            bufs = schedule.apply(comm, bufs, t, phase=phase, tag="kv+grads")
+
+    # Final hop: send each circulating bundle home to its owner.
+    bufs = comm.exchange(
+        bufs, schedule.return_permutation(), phase=phase, tag="kv+grads-return"
+    )
+    dks = [bufs[r][2] for r in range(g)]
+    dvs = [bufs[r][3] for r in range(g)]
+    return dqs, dks, dvs

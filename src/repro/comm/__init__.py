@@ -1,0 +1,35 @@
+"""Simulated SPMD communication substrate.
+
+Everything "distributed" in this repository runs inside a single process:
+per-rank state is held in plain Python lists indexed by global rank, and all
+data movement goes through :class:`SimCommunicator`, which
+
+* actually moves the numpy arrays (so numerics are exact), and
+* logs every transfer's byte count and link class (so communication volumes
+  can be asserted against the paper's analytic formulas, e.g. RingAttention's
+  ``4Nd`` backward volume vs BurstAttention's ``3Nd + 2N``).
+
+The API mirrors the mpi4py / NCCL vocabulary (ring send/recv, all-gather,
+all-to-all, reduce-scatter, broadcast) but is collective-at-once: a single
+call performs the operation for all ranks, which is the natural shape for a
+single-process SPMD simulation.
+"""
+
+from repro.comm.traffic import TrafficLog, TransferRecord
+from repro.comm.communicator import SimCommunicator
+from repro.comm.ring import (
+    RingSchedule,
+    global_ring_schedule,
+    double_ring_schedule,
+    grouped_ring_schedule,
+)
+
+__all__ = [
+    "TrafficLog",
+    "TransferRecord",
+    "SimCommunicator",
+    "RingSchedule",
+    "global_ring_schedule",
+    "double_ring_schedule",
+    "grouped_ring_schedule",
+]

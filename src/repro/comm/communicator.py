@@ -1,0 +1,340 @@
+"""The simulated SPMD communicator.
+
+:class:`SimCommunicator` executes collective operations for *all* ranks at
+once.  Per-rank data is passed as a list indexed by global rank; each entry
+may be a numpy array or any pytree of arrays (tuples/lists/dicts).  The
+communicator both moves the data (copying, so sender buffers can be reused
+exactly as with real double-buffered NCCL transfers) and appends one
+:class:`~repro.comm.traffic.TransferRecord` per point-to-point hop.
+
+Collectives that real NCCL implements with ring algorithms (all-gather,
+reduce-scatter, all-reduce) are *logged* as their ring realisations so the
+recorded per-link traffic matches what the hardware would carry, while the
+numerics are computed directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.comm.traffic import TrafficLog, TransferRecord
+from repro.topology import ClusterTopology, LinkClass
+from repro.utils.pytree import tree_flatten, tree_map, tree_unflatten
+
+
+class SimCommunicator:
+    """Single-process stand-in for a NCCL/MPI communicator.
+
+    Parameters
+    ----------
+    topology:
+        Cluster layout used to classify each hop as intra- or inter-node.
+    log:
+        Optional shared :class:`TrafficLog`; a fresh one is created if
+        omitted and is available as :attr:`log`.
+    """
+
+    def __init__(self, topology: ClusterTopology, log: TrafficLog | None = None):
+        self.topology = topology
+        self.log = log if log is not None else TrafficLog()
+
+    @property
+    def world_size(self) -> int:
+        return self.topology.world_size
+
+    # --- internals -----------------------------------------------------------
+
+    def _check_bufs(self, bufs: Sequence[object]) -> None:
+        if len(bufs) != self.world_size:
+            raise ValueError(
+                f"expected one buffer per rank ({self.world_size}), got {len(bufs)}"
+            )
+
+    def _record(self, src: int, dst: int, tree: object, phase: str, tag: str) -> None:
+        leaves, _ = tree_flatten(tree)
+        nbytes = sum(leaf.nbytes for leaf in leaves)
+        nelems = sum(leaf.size for leaf in leaves)
+        self.log.add(
+            TransferRecord(
+                src=src,
+                dst=dst,
+                nbytes=nbytes,
+                nelems=nelems,
+                link=self.topology.link_class(src, dst),
+                phase=phase,
+                tag=tag,
+            )
+        )
+
+    # --- point-to-point --------------------------------------------------------
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload: object,
+        *,
+        phase: str,
+        tag: str = "",
+    ) -> object:
+        """Single point-to-point transfer; returns the received copy.
+
+        Used by selective (sparsity-aware) communication patterns that
+        fetch only the shards a mask actually needs, instead of ring-
+        circulating everything.
+        """
+        if not 0 <= src < self.world_size or not 0 <= dst < self.world_size:
+            raise ValueError(f"rank out of range: {src} -> {dst}")
+        if src != dst:
+            self._record(src, dst, payload, phase, tag or "p2p")
+        return tree_map(np.copy, payload)
+
+    def exchange(
+        self,
+        bufs: Sequence[object],
+        dest_of: Sequence[int],
+        *,
+        phase: str,
+        tag: str = "",
+    ) -> list[object]:
+        """Generic permutation send: rank ``r`` sends its buffer to
+        ``dest_of[r]``.  ``dest_of`` must be a permutation of the ranks.
+        Returns the received buffer per rank (deep-copied).
+        """
+        self._check_bufs(bufs)
+        if sorted(dest_of) != list(range(self.world_size)):
+            raise ValueError("dest_of must be a permutation of all ranks")
+        received: list[object] = [None] * self.world_size
+        for src, dst in enumerate(dest_of):
+            if src != dst:
+                self._record(src, dst, bufs[src], phase, tag)
+            received[dst] = tree_map(np.copy, bufs[src])
+        return received
+
+    # --- ring primitives ---------------------------------------------------------
+
+    def ring_shift(
+        self,
+        bufs: Sequence[object],
+        ring: Sequence[int],
+        *,
+        phase: str,
+        tag: str = "",
+    ) -> list[object]:
+        """One ring step along ``ring``: each listed rank sends its buffer to
+        its successor in the ring and receives from its predecessor.  Ranks
+        not in ``ring`` keep their buffers untouched (identity, no copy).
+        """
+        self._check_bufs(bufs)
+        k = len(ring)
+        if k != len(set(ring)):
+            raise ValueError("ring contains duplicate ranks")
+        out: list[object] = list(bufs)
+        for pos in range(k):
+            src = ring[pos]
+            dst = ring[(pos + 1) % k]
+            if src != dst:
+                self._record(src, dst, bufs[src], phase, tag)
+            out[dst] = tree_map(np.copy, bufs[src])
+        return out
+
+    # --- collectives ---------------------------------------------------------
+
+    def all_gather(
+        self,
+        shards: Sequence[np.ndarray],
+        *,
+        axis: int = 0,
+        phase: str,
+        tag: str = "",
+    ) -> list[np.ndarray]:
+        """All-gather along ``axis`` using the ring realisation for logging.
+
+        Every rank receives ``concat(shards, axis)``.  The ring algorithm
+        forwards each shard ``G - 1`` hops, which is what gets logged.
+        """
+        self._check_bufs(shards)
+        g = self.world_size
+        ring = self.topology.global_ring()
+        # Ring all-gather: at step t, rank ring[p] sends the shard that
+        # originated at ring[(p - t) % g] to ring[(p + 1) % g].
+        for t in range(g - 1):
+            for p in range(g):
+                src = ring[p]
+                dst = ring[(p + 1) % g]
+                origin = ring[(p - t) % g]
+                if src != dst:
+                    self._record(src, dst, shards[origin], phase, tag or "all_gather")
+        full = np.concatenate(list(shards), axis=axis)
+        return [full.copy() for _ in range(g)]
+
+    def reduce_scatter(
+        self,
+        contributions: Sequence[Sequence[np.ndarray]],
+        *,
+        phase: str,
+        tag: str = "",
+    ) -> list[np.ndarray]:
+        """Reduce-scatter with summation.
+
+        ``contributions[r][j]`` is rank ``r``'s addend destined for rank
+        ``j``.  Rank ``j`` receives ``sum_r contributions[r][j]``.  Logged as
+        the ring realisation: each rank sends ``G - 1`` partial chunks.
+        """
+        self._check_bufs(contributions)
+        g = self.world_size
+        for r, chunks in enumerate(contributions):
+            if len(chunks) != g:
+                raise ValueError(
+                    f"rank {r} contributed {len(chunks)} chunks, expected {g}"
+                )
+        ring = self.topology.global_ring()
+        # Ring reduce-scatter: at step t, rank ring[p] sends the partial sum
+        # for destination ring[(p - t) % g] onward.
+        for t in range(g - 1):
+            for p in range(g):
+                src = ring[p]
+                dst = ring[(p + 1) % g]
+                dest_chunk = ring[(p - t) % g]
+                if src != dst:
+                    self._record(
+                        src, dst, contributions[src][dest_chunk], phase,
+                        tag or "reduce_scatter",
+                    )
+        out: list[np.ndarray] = []
+        for j in range(g):
+            acc = np.zeros_like(contributions[0][j])
+            for r in range(g):
+                acc = acc + contributions[r][j]
+            out.append(acc)
+        return out
+
+    def all_reduce(
+        self,
+        bufs: Sequence[np.ndarray],
+        *,
+        phase: str,
+        tag: str = "",
+    ) -> list[np.ndarray]:
+        """Sum all-reduce, logged as ring reduce-scatter + all-gather."""
+        self._check_bufs(bufs)
+        g = self.world_size
+        total = np.zeros_like(bufs[0])
+        for buf in bufs:
+            if buf.shape != bufs[0].shape:
+                raise ValueError("all_reduce requires identical shapes on all ranks")
+            total = total + buf
+        # Ring all-reduce traffic: each rank sends 2 * (G - 1) chunks of
+        # size |buf| / G.
+        ring = self.topology.global_ring()
+        chunk_template = [np.empty(0)] * g
+        for t in range(2 * (g - 1)):
+            for p in range(g):
+                src = ring[p]
+                dst = ring[(p + 1) % g]
+                if src == dst:
+                    continue
+                nbytes = bufs[src].nbytes // g
+                nelems = bufs[src].size // g
+                self.log.add(
+                    TransferRecord(
+                        src=src,
+                        dst=dst,
+                        nbytes=nbytes,
+                        nelems=nelems,
+                        link=self.topology.link_class(src, dst),
+                        phase=phase,
+                        tag=tag or "all_reduce",
+                    )
+                )
+        return [total.copy() for _ in range(g)]
+
+    def all_to_all(
+        self,
+        chunks: Sequence[Sequence[object]],
+        *,
+        phase: str,
+        tag: str = "",
+    ) -> list[list[object]]:
+        """All-to-all: rank ``j`` receives ``[chunks[0][j], ..., chunks[G-1][j]]``.
+
+        This is the collective at the heart of DeepSpeed-Ulysses head
+        parallelism.  Every off-diagonal chunk is one logged transfer.
+        """
+        self._check_bufs(chunks)
+        g = self.world_size
+        for r, row in enumerate(chunks):
+            if len(row) != g:
+                raise ValueError(f"rank {r} provided {len(row)} chunks, expected {g}")
+        out: list[list[object]] = [[None] * g for _ in range(g)]
+        for src in range(g):
+            for dst in range(g):
+                if src != dst:
+                    self._record(src, dst, chunks[src][dst], phase, tag or "all_to_all")
+                out[dst][src] = tree_map(np.copy, chunks[src][dst])
+        return out
+
+    def group_all_to_all(
+        self,
+        chunks: Sequence[Sequence[object]],
+        groups: Sequence[Sequence[int]],
+        *,
+        phase: str,
+        tag: str = "",
+    ) -> list[list[object]]:
+        """All-to-all restricted to disjoint rank groups.
+
+        ``groups`` partitions (a subset of) the ranks; rank ``r`` in a group
+        of size ``u`` provides ``chunks[r]`` with ``u`` entries and receives
+        the ``u`` chunks addressed to it by its group peers (ordered by
+        position in the group).  This is the collective DeepSpeed-Ulysses
+        runs inside each head-parallel group.
+        """
+        self._check_bufs(chunks)
+        seen: set[int] = set()
+        for grp in groups:
+            for r in grp:
+                if r in seen:
+                    raise ValueError(f"rank {r} appears in multiple groups")
+                seen.add(r)
+        out: list[list[object]] = [None] * self.world_size  # type: ignore[list-item]
+        for grp in groups:
+            u = len(grp)
+            for pos, r in enumerate(grp):
+                if len(chunks[r]) != u:
+                    raise ValueError(
+                        f"rank {r} provided {len(chunks[r])} chunks for a "
+                        f"group of size {u}"
+                    )
+            for dst_pos, dst in enumerate(grp):
+                row = []
+                for src_pos, src in enumerate(grp):
+                    if src != dst:
+                        self._record(
+                            src, dst, chunks[src][dst_pos], phase,
+                            tag or "group_all_to_all",
+                        )
+                    row.append(tree_map(np.copy, chunks[src][dst_pos]))
+                out[dst] = row
+        return out
+
+    def broadcast(
+        self,
+        buf: np.ndarray,
+        root: int,
+        *,
+        phase: str,
+        tag: str = "",
+    ) -> list[np.ndarray]:
+        """Broadcast from ``root``; logged as a ring pipeline (G - 1 hops)."""
+        g = self.world_size
+        ring = self.topology.global_ring()
+        start = ring.index(root)
+        for off in range(g - 1):
+            src = ring[(start + off) % g]
+            dst = ring[(start + off + 1) % g]
+            if src != dst:
+                self._record(src, dst, buf, phase, tag or "broadcast")
+        return [buf.copy() for _ in range(g)]

@@ -1,0 +1,220 @@
+"""Ring communication schedules: flat global ring vs topology-aware rings.
+
+A *ring schedule* describes, for a G-step ring attention pass, which
+permutation moves the circulating buffers between consecutive compute
+steps.  Two schedules are provided:
+
+* :func:`global_ring_schedule` — the flat ring of RingAttention.  With
+  node-major rank placement every hop from the last GPU of one node to the
+  first GPU of the next crosses the inter-node network, and since the ring
+  advances in lockstep, every step is gated by the slowest (inter-node)
+  link.
+
+* :func:`double_ring_schedule` — the topology-aware scheme of
+  DoubleRing / BurstAttention.  Buffers first circulate inside each node
+  over NVLink (``gpus_per_node - 1`` intra transitions per round), then one
+  inter-node transition moves each rank's buffer to the peer rank on the
+  next node.  The inter-node transition runs one ring *per local rank*, so
+  all NICs of a node carry traffic concurrently.
+
+The schedule is purely a communication pattern; both the exact-numerics
+attention implementations and the DES performance model consume it, which
+guarantees they agree on who talks to whom at every step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.comm.communicator import SimCommunicator
+from repro.topology import ClusterTopology, LinkClass
+
+
+@dataclass(frozen=True)
+class RingSchedule:
+    """A sequence of ring transitions covering all G partitions.
+
+    Attributes
+    ----------
+    topology:
+        The cluster the schedule is built for.
+    transitions:
+        ``transitions[t]`` is the list of rings to shift along when moving
+        from compute step ``t`` to step ``t + 1``
+        (``len(transitions) == G - 1``).  Each listed ring is shifted once;
+        rings within one transition are disjoint and run concurrently on
+        real hardware.
+    name:
+        Human-readable identifier (``"global-ring"`` / ``"double-ring"``).
+    """
+
+    topology: ClusterTopology
+    transitions: tuple[tuple[tuple[int, ...], ...], ...]
+    name: str
+
+    @property
+    def num_steps(self) -> int:
+        """Number of compute steps (= world size G)."""
+        return len(self.transitions) + 1
+
+    def transition_link_class(self, t: int) -> LinkClass:
+        """Slowest link class used by transition ``t``.
+
+        A lockstep transition is gated by its slowest hop: a flat global
+        ring that crosses a node boundary anywhere is inter-node-bound
+        even though most of its hops ride NVLink.
+        """
+        worst = LinkClass.LOCAL
+        for ring in self.transitions[t]:
+            k = len(ring)
+            for pos in range(k):
+                cls = self.topology.link_class(ring[pos], ring[(pos + 1) % k])
+                if cls is LinkClass.INTER:
+                    return LinkClass.INTER
+                if cls is LinkClass.INTRA:
+                    worst = LinkClass.INTRA
+        return worst
+
+    def apply(
+        self,
+        comm: SimCommunicator,
+        bufs: Sequence[object],
+        t: int,
+        *,
+        phase: str,
+        tag: str = "",
+    ) -> list[object]:
+        """Perform transition ``t`` on per-rank buffers through ``comm``."""
+        out = list(bufs)
+        for ring in self.transitions[t]:
+            out = comm.ring_shift(out, list(ring), phase=phase, tag=tag or self.name)
+        return out
+
+    def origins(self) -> list[list[int]]:
+        """``origins()[t][rank]`` = the rank whose step-0 buffer ``rank``
+        holds at compute step ``t``.
+
+        This is what the attention implementations use to decide which KV
+        (or Q) partition they are looking at — and hence which causal-mask
+        case of Eq. (12)/(14) applies.
+        """
+        g = self.topology.world_size
+        current = list(range(g))
+        result = [list(current)]
+        for t in range(len(self.transitions)):
+            nxt = list(current)
+            for ring in self.transitions[t]:
+                k = len(ring)
+                for pos in range(k):
+                    src = ring[pos]
+                    dst = ring[(pos + 1) % k]
+                    nxt[dst] = current[src]
+            current = nxt
+            result.append(list(current))
+        return result
+
+    def validate(self) -> None:
+        """Check the schedule is a proper cover: every rank sees
+        ``num_steps`` *distinct* origins (for world-spanning schedules that
+        means every rank's buffer exactly once; for grouped schedules, every
+        member of the rank's ring)."""
+        g = self.topology.world_size
+        origins = self.origins()
+        steps = self.num_steps
+        for rank in range(g):
+            seen = [origins[t][rank] for t in range(steps)]
+            if len(set(seen)) != steps:
+                raise ValueError(
+                    f"rank {rank} sees duplicate origins over {steps} steps: {seen}"
+                )
+
+    def return_permutation(self) -> list[int]:
+        """Destination map that sends each circulating buffer back to its
+        origin after the last compute step.
+
+        ``dest_of[rank] = origins[-1][rank]`` — for the flat global ring
+        this is simply one more ring hop, which is why Algorithms 1 and 2
+        of the paper run ``G`` communication rounds rather than ``G - 1``.
+        """
+        final = self.origins()[-1]
+        return list(final)
+
+
+def global_ring_schedule(topology: ClusterTopology) -> RingSchedule:
+    """The flat ring used by RingAttention: one global shift per transition."""
+    ring = tuple(topology.global_ring())
+    g = topology.world_size
+    transitions = tuple((ring,) for _ in range(g - 1))
+    return RingSchedule(topology=topology, transitions=transitions, name="global-ring")
+
+
+def grouped_ring_schedule(
+    topology: ClusterTopology, rings: Sequence[Sequence[int]]
+) -> RingSchedule:
+    """Parallel independent rings (USP's context-parallel dimension).
+
+    ``rings`` must be equal-length and disjoint; each transition shifts all
+    of them at once, so the schedule has ``len(rings[0]) - 1`` transitions.
+    Every rank only ever sees origins from its own ring.
+    """
+    if not rings:
+        raise ValueError("need at least one ring")
+    length = len(rings[0])
+    if any(len(r) != length for r in rings):
+        raise ValueError("all rings must have the same length")
+    flat = [r for ring in rings for r in ring]
+    if len(set(flat)) != len(flat):
+        raise ValueError("rings must be disjoint")
+    frozen = tuple(tuple(r) for r in rings)
+    transitions = tuple(frozen for _ in range(length - 1))
+    schedule = RingSchedule(
+        topology=topology, transitions=transitions, name="grouped-ring"
+    )
+    schedule.validate()
+    return schedule
+
+
+def double_ring_schedule(
+    topology: ClusterTopology, window: int | None = None
+) -> RingSchedule:
+    """Topology-aware two-level ring (DoubleRing / BurstAttention).
+
+    The world is grouped into inner rings of ``window`` consecutive ranks
+    (default: one node, the paper's placement); transition ``t`` is an
+    inner shift unless ``t`` is a multiple of ``window``, in which case the
+    outer rings (one per inner position, stride ``window``) shift —
+    on node-aligned windows that drives one NIC per GPU concurrently.
+
+    ``window`` is LoongTrain's tunable inner-ring size: smaller windows
+    cross the outer (slower) links more often, larger-than-node windows
+    put "inner" hops on the inter-node network.  The node-aligned default
+    is optimal, which ``tests/test_ring_window.py`` checks against the DES.
+
+    Degenerates to the global ring for ``window == world`` and to a pure
+    outer ring for ``window == 1``.
+    """
+    world = topology.world_size
+    w = window if window is not None else topology.gpus_per_node
+    if w < 1 or world % w != 0:
+        raise ValueError(
+            f"window {w} must be a positive divisor of world size {world}"
+        )
+    n_groups = world // w
+    inner = tuple(
+        tuple(range(grp * w, (grp + 1) * w)) for grp in range(n_groups)
+    )
+    outer = tuple(
+        tuple(range(pos, world, w)) for pos in range(w)
+    )
+    transitions: list[tuple[tuple[int, ...], ...]] = []
+    for t in range(1, world):
+        if w > 1 and t % w != 0:
+            transitions.append(inner)
+        else:
+            transitions.append(outer)
+    schedule = RingSchedule(
+        topology=topology, transitions=tuple(transitions), name="double-ring"
+    )
+    schedule.validate()
+    return schedule

@@ -1,0 +1,172 @@
+"""The BurstEngine training engine.
+
+:class:`BurstEngine` assembles the full system of the paper on the
+simulated cluster:
+
+* a :class:`~repro.nn.TransformerLM` whose attention layers execute one of
+  the distributed methods (``burst`` by default) through the traffic-logged
+  communicator;
+* a gradient checkpointing policy (sequence-level selective by default);
+* a fused LM head + loss (Algorithm 3 by default);
+* FSDP traffic accounting and an Adam optimizer (optionally "offloaded").
+
+Every knob corresponds to a row of the paper's ablation (Table 2), so the
+ablation benchmark literally toggles :class:`EngineConfig` fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.attention import get_method
+from repro.attention.methods import DistributedAttention
+from repro.comm import SimCommunicator
+from repro.engine.distributed_attention import DistributedCausalSelfAttention
+from repro.engine.fsdp import FSDPTraffic, log_fsdp_traffic
+from repro.nn import Adam, CheckpointPolicy, TransformerConfig, TransformerLM
+from repro.nn.checkpoint import CheckpointMode
+from repro.nn.memory import get_tracker, reset_tracker
+from repro.topology import ClusterTopology, make_cluster
+
+
+@dataclass
+class EngineConfig:
+    """Everything needed to stand up a training run.
+
+    The ablation flags (Table 2) map as follows:
+
+    * backward communication optimisation -> ``method="burst"`` vs
+      ``"loongtrain-double"`` (Alg. 2 vs Alg. 1 on the same topology-aware
+      ring);
+    * topology-aware ring -> ``method="burst"`` vs ``"megatron-cp"``;
+    * fused LM head + loss -> ``head_impl="fused"`` vs ``"naive"``;
+    * sequence-level selective checkpointing vs selective++ vs full ->
+      ``checkpoint``.
+    """
+
+    model: TransformerConfig = field(default_factory=TransformerConfig)
+    method: str = "burst"
+    method_kwargs: dict = field(default_factory=dict)
+    num_gpus: int = 8
+    gpus_per_node: int = 8
+    checkpoint: CheckpointPolicy = field(
+        default_factory=lambda: CheckpointPolicy(CheckpointMode.SEQUENCE_LEVEL, 0.5)
+    )
+    head_impl: str = "fused"
+    fsdp: bool = True
+    optimizer_offload: bool = False
+    lr: float = 1e-3
+
+    def resolved_model(self) -> TransformerConfig:
+        return replace(self.model, checkpoint=self.checkpoint, head_impl=self.head_impl)
+
+
+@dataclass
+class StepResult:
+    """Outcome of one training step."""
+
+    loss: float
+    step_comm_bytes: int
+    step_comm_elems: int
+    fsdp: FSDPTraffic | None
+    peak_activation_bytes: int
+    recompute_flops: float
+
+
+class BurstEngine:
+    """End-to-end distributed long-context training on the sim cluster."""
+
+    def __init__(self, config: EngineConfig, topology: ClusterTopology | None = None):
+        self.config = config
+        self.topology = topology if topology is not None else make_cluster(
+            config.num_gpus, gpus_per_node=config.gpus_per_node
+        )
+        self.comm = SimCommunicator(self.topology)
+        self.method: DistributedAttention = get_method(
+            config.method, **config.method_kwargs
+        )
+        self._validate()
+
+        model_cfg = config.resolved_model()
+
+        def attn_factory(dim, n_heads, rng, mask, block_size, n_kv_heads=None):
+            return DistributedCausalSelfAttention(
+                dim, n_heads, rng, method=self.method, comm=self.comm,
+                mask=mask, block_size=block_size, n_kv_heads=n_kv_heads,
+            )
+
+        self.model = TransformerLM(model_cfg, attn_factory=attn_factory)
+        if config.head_impl == "vocab-parallel":
+            from repro.engine.distributed_head import install_vocab_parallel_head
+
+            install_vocab_parallel_head(self.model, self.comm)
+        self.optimizer = Adam(
+            self.model.parameters(), lr=config.lr,
+            offload=config.optimizer_offload,
+        )
+        self.step_count = 0
+
+    def _validate(self) -> None:
+        g = self.topology.world_size
+        s = self.config.model.max_seq_len
+        heads = self.config.model.n_heads
+        if self.config.method == "ulysses" and heads % g != 0:
+            raise ValueError(
+                f"DeepSpeed-Ulysses infeasible: {heads} heads on {g} GPUs"
+            )
+        if s % g != 0:
+            raise ValueError(
+                f"max_seq_len {s} must be divisible by world size {g}"
+            )
+        if (
+            self.config.head_impl == "vocab-parallel"
+            and self.config.model.vocab_size % g != 0
+        ):
+            raise ValueError(
+                f"vocab-parallel head needs vocab_size divisible by {g}"
+            )
+
+    @property
+    def param_bytes(self) -> int:
+        return sum(p.nbytes for p in self.model.parameters())
+
+    def train_step(self, ids: np.ndarray, targets: np.ndarray) -> StepResult:
+        """One full training step: forward, backward, FSDP traffic,
+        optimizer update.  Returns loss and per-step accounting."""
+        if len(ids) % self.topology.world_size != 0:
+            raise ValueError(
+                f"sequence length {len(ids)} not divisible by world size "
+                f"{self.topology.world_size}"
+            )
+        reset_tracker()
+        mark = len(self.comm.log.records)
+
+        self.optimizer.zero_grad()
+        loss = self.model(ids, targets)
+        loss.backward()
+
+        fsdp = None
+        if self.config.fsdp:
+            gather_passes = 2 if self.config.checkpoint.checkpoints_layer else 1
+            fsdp = log_fsdp_traffic(
+                self.comm, self.param_bytes, gather_passes=gather_passes
+            )
+        self.optimizer.step()
+        self.step_count += 1
+
+        new_records = self.comm.log.records[mark:]
+        tracker = get_tracker()
+        return StepResult(
+            loss=loss.item(),
+            step_comm_bytes=sum(r.nbytes for r in new_records),
+            step_comm_elems=sum(r.nelems for r in new_records),
+            fsdp=fsdp,
+            peak_activation_bytes=tracker.peak_saved_bytes,
+            recompute_flops=tracker.recompute_flops,
+        )
+
+    def train(self, ids: np.ndarray, targets: np.ndarray, steps: int) -> list[float]:
+        """Run ``steps`` updates on one batch; returns the loss curve."""
+        return [self.train_step(ids, targets).loss for _ in range(steps)]

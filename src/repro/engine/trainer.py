@@ -1,0 +1,135 @@
+"""High-level training loop around :class:`~repro.engine.BurstEngine`.
+
+Adds the pieces a real training run needs on top of ``train_step``:
+learning-rate scheduling, gradient clipping, periodic evaluation,
+best-checkpoint saving, and a structured history the examples and tests
+consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.engine.engine import BurstEngine
+from repro.nn.schedule import ConstantLR, LRSchedule, clip_grad_norm
+from repro.nn.serialization import save_model
+from repro.nn.tensor import no_grad
+
+
+@dataclass
+class TrainRecord:
+    """One step's log entry."""
+
+    step: int
+    loss: float
+    lr: float
+    grad_norm: float
+    eval_loss: float | None = None
+
+
+@dataclass
+class Trainer:
+    """Schedule-aware training loop.
+
+    Parameters
+    ----------
+    engine:
+        The distributed engine to drive.
+    schedule:
+        LR schedule (defaults to constant at the engine's configured lr).
+    clip_norm:
+        Global-norm gradient clipping threshold; ``None`` disables.
+    eval_fn:
+        Optional callable ``model -> float`` run every ``eval_every``
+        steps (e.g. held-out loss or recall accuracy).
+    checkpoint_path:
+        If set, the best-eval model is saved there (npz).
+    """
+
+    engine: BurstEngine
+    schedule: LRSchedule | None = None
+    clip_norm: float | None = 1.0
+    eval_fn: Callable | None = None
+    eval_every: int = 10
+    checkpoint_path: str | None = None
+    history: list[TrainRecord] = field(default_factory=list)
+    best_eval: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.schedule is None:
+            self.schedule = ConstantLR(self.engine.optimizer.lr)
+
+    @property
+    def model(self):
+        return self.engine.model
+
+    grad_accumulation: int = 1
+
+    def fit(
+        self,
+        batches: Sequence[tuple[np.ndarray, np.ndarray]],
+        steps: int,
+    ) -> list[TrainRecord]:
+        """Run ``steps`` optimizer updates cycling through ``batches``.
+
+        With ``grad_accumulation = k``, each update backpropagates ``k``
+        consecutive micro-batches (scaled by ``1/k``) before stepping —
+        the standard way to grow the effective batch without growing the
+        activation footprint.  Gradient clipping happens between backward
+        and the optimizer step, which requires driving the engine's
+        internals directly (its ``train_step`` fuses them).
+        """
+        if not batches:
+            raise ValueError("need at least one (ids, targets) batch")
+        if self.grad_accumulation < 1:
+            raise ValueError("grad_accumulation must be >= 1")
+        engine = self.engine
+        micro = 0
+        for step in range(steps):
+            lr = self.schedule.apply(engine.optimizer, step)
+
+            from repro.nn.memory import reset_tracker
+
+            reset_tracker()
+            engine.optimizer.zero_grad()
+            loss_value = 0.0
+            for _ in range(self.grad_accumulation):
+                ids, targets = batches[micro % len(batches)]
+                micro += 1
+                loss = engine.model(ids, targets)
+                loss_value += loss.item() / self.grad_accumulation
+                loss.backward(
+                    np.asarray(1.0 / self.grad_accumulation)
+                )
+            grad_norm = (
+                clip_grad_norm(engine.model.parameters(), self.clip_norm)
+                if self.clip_norm is not None
+                else float("nan")
+            )
+            if engine.config.fsdp:
+                from repro.engine.fsdp import log_fsdp_traffic
+
+                gather_passes = 2 if engine.config.checkpoint.checkpoints_layer else 1
+                log_fsdp_traffic(engine.comm, engine.param_bytes,
+                                 gather_passes=gather_passes)
+            engine.optimizer.step()
+            engine.step_count += 1
+
+            record = TrainRecord(
+                step=step, loss=loss_value, lr=lr, grad_norm=grad_norm
+            )
+            if self.eval_fn is not None and (step + 1) % self.eval_every == 0:
+                with no_grad():
+                    record.eval_loss = float(self.eval_fn(engine.model))
+                if record.eval_loss < self.best_eval:
+                    self.best_eval = record.eval_loss
+                    if self.checkpoint_path is not None:
+                        save_model(engine.model, self.checkpoint_path)
+            self.history.append(record)
+        return self.history
+
+    def losses(self) -> list[float]:
+        return [r.loss for r in self.history]

@@ -1,0 +1,36 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments            # all of them
+    python -m repro.experiments fig12 tab02
+    python -m repro.experiments --list
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS as EXPERIMENTS
+
+
+def main(argv: list[str]) -> int:
+    if "--list" in argv:
+        for key, fn in EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{key:7s} {doc}")
+        return 0
+    keys = argv or list(EXPERIMENTS)
+    unknown = [k for k in keys if k not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for key in keys:
+        print(EXPERIMENTS[key]().format())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,132 @@
+"""Ablations: Table 2 (optimization stack) and Table 3 (sparse workload
+balance)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, fmt
+from repro.models import LLAMA_14B, ModelSpec
+from repro.perf import end_to_end_step
+from repro.topology import make_cluster
+
+
+#: Table 2 rows: cumulative optimisation stack on 14B / 1M / 32 x A800.
+#: (label, attention schedule, checkpoint policy, head mode)
+TAB02_ROWS = [
+    ("base (flat ring, Alg.1)", "megatron-cp", "full", "naive"),
+    ("+ backward comm opt (Alg.2)", "burst-flat", "full", "naive"),
+    ("+ topology-aware ring", "burst", "full", "naive"),
+    ("+ fused LM head & loss", "burst", "full", "fused"),
+    ("+ sequence-level ckpt", "burst", "sequence_level", "fused"),
+    ("selective++ instead", "burst", "selective_pp", "fused"),
+]
+
+
+def tab02_ablation(
+    model: ModelSpec = LLAMA_14B,
+    num_gpus: int = 32,
+    seq_len: int = 1 << 20,
+) -> ExperimentResult:
+    """Table 2: contribution of each BurstEngine optimisation.
+
+    Expected shape: TGS rises monotonically down the stack (~1.4x base ->
+    full); the fused head cuts memory without hurting TGS; sequence-level
+    checkpointing buys a large TGS jump for a moderate memory increase,
+    while selective++ (the last row) is faster still but stores more.
+    """
+    topo = make_cluster(num_gpus)
+    rows = []
+    base_tgs = None
+    for label, method, ckpt, head in TAB02_ROWS:
+        r = end_to_end_step(model, topo, seq_len, method=method,
+                            checkpoint=ckpt, head_mode=head)
+        if base_tgs is None:
+            base_tgs = r.tgs
+        rows.append([
+            label, fmt(r.mfu * 100, 2), fmt(r.tgs, 2),
+            fmt(r.memory.total_gb, 2), fmt(r.tgs / base_tgs, 2) + "x",
+        ])
+    return ExperimentResult(
+        exp_id="tab02",
+        title=f"Ablation: {model.name}, {seq_len // (1 << 20)}M tokens, "
+              f"{num_gpus} x A800",
+        headers=["configuration", "MFU_%", "TGS", "mem_GB", "vs_base"],
+        rows=rows,
+        notes=["paper row TGS: 83.79 / 87.48 / 95.06 / 94.81 / 108.82 / 117.83"],
+    )
+
+
+def tab02_split_sweep(
+    model: ModelSpec = LLAMA_14B,
+    num_gpus: int = 32,
+    seq_len: int = 1 << 20,
+    fractions: list[float] | None = None,
+) -> ExperimentResult:
+    """Design-choice ablation: the sequence-level checkpointing split point.
+
+    ``split_fraction`` is the share of each layer's sequence that is
+    *recomputed* (the front); ``1 - split`` is stored.  Small fractions
+    approach selective++ (fast, heavy); large ones approach full
+    checkpointing (slow, light).  The paper picks 0.5; the sweep shows the
+    memory-throughput frontier it sits on.
+    """
+    topo = make_cluster(num_gpus)
+    rows = []
+    for frac in fractions or [0.125, 0.25, 0.5, 0.75, 0.875]:
+        r = end_to_end_step(
+            model, topo, seq_len, method="burst",
+            checkpoint="sequence_level", split_fraction=frac,
+            head_mode="fused",
+        )
+        rows.append([
+            f"{frac:.3f}", fmt(r.tgs, 2), fmt(r.mfu * 100, 2),
+            fmt(r.memory.total_gb, 2),
+        ])
+    return ExperimentResult(
+        exp_id="tab02-split",
+        title=f"Sequence-level checkpoint split sweep: {model.name}, "
+              f"{seq_len // (1 << 20)}M, {num_gpus} x A800",
+        headers=["recomputed_fraction", "TGS", "MFU_%", "mem_GB"],
+        rows=rows,
+        notes=["paper's operating point: 0.5 (half of selective++'s memory, "
+               "~25% of full's attention recompute)"],
+    )
+
+
+def tab03_sparse(
+    model: ModelSpec = LLAMA_14B,
+    num_gpus: int = 8,
+    seq_len: int = 262144,
+    window: int = 32768,
+) -> ExperimentResult:
+    """Table 3: throughput of sparse-attention workload-balance strategies.
+
+    * **attention masking** — causal mask applied with a contiguous
+      partition and no balance: barriers make every step as slow as the
+      slowest device, erasing the mask's savings (dense-cost attention);
+    * **causal attention** — zigzag/striped balance: each device does the
+      causal half-work, ~1.7x faster;
+    * **SWA** — block-wise balanced sliding window (32K window): only
+      ``2w/N`` of the causal pairs remain, ~3.7x faster.
+    """
+    topo = make_cluster(num_gpus)
+    kw = dict(method="burst", checkpoint="sequence_level", head_mode="fused",
+              optimizer_offload=True)
+    masking = end_to_end_step(model, topo, seq_len, workload_balanced=False, **kw)
+    causal = end_to_end_step(model, topo, seq_len, **kw)
+    swa = end_to_end_step(model, topo, seq_len,
+                          sparsity=2 * window / seq_len, **kw)
+    rows = [
+        ["Attention Masking", fmt(masking.tgs, 2), "1.00x"],
+        ["Causal Attention", fmt(causal.tgs, 2),
+         fmt(causal.tgs / masking.tgs, 2) + "x"],
+        [f"SWA ({window // 1024}K window)", fmt(swa.tgs, 2),
+         fmt(swa.tgs / masking.tgs, 2) + "x"],
+    ]
+    return ExperimentResult(
+        exp_id="tab03",
+        title=f"Sparse workload balance: {model.name}, "
+              f"{seq_len // 1024}K tokens, {num_gpus} x A800",
+        headers=["implementation", "TGS", "speedup"],
+        rows=rows,
+        notes=["paper: 227.58 / 393.44 (1.72x) / 837.79 (3.68x)"],
+    )

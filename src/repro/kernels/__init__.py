@@ -1,0 +1,35 @@
+"""Single-device "kernels": exact numpy implementations of the primitives
+a GPU would run (FlashAttention-style blockwise attention, online softmax,
+fused LM-head tiles).
+
+These are the building blocks the distributed layers compose.  Everything is
+float64 and bit-exactly testable against dense references, which is what
+lets the distributed rewrites (Alg. 1, Alg. 2, Alg. 3 of the paper) be
+verified to numerical precision.
+"""
+
+from repro.kernels.softmax import (
+    logsumexp,
+    merge_lse,
+    merge_states,
+    softmax,
+)
+from repro.kernels.attention_ref import (
+    attention_reference,
+    attention_reference_backward,
+)
+from repro.kernels.flash import (
+    flash_attention_forward,
+    flash_attention_backward,
+)
+
+__all__ = [
+    "logsumexp",
+    "merge_lse",
+    "merge_states",
+    "softmax",
+    "attention_reference",
+    "attention_reference_backward",
+    "flash_attention_forward",
+    "flash_attention_backward",
+]

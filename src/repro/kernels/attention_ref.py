@@ -1,0 +1,93 @@
+"""Dense reference attention (forward and backward).
+
+This is the ground truth every optimized path is tested against.  It
+materialises the full score matrix, which is exactly what long-context
+training cannot afford — the point of the paper — but at test scale it is
+the simplest correct oracle.
+
+Shapes follow the repository convention: ``q`` is ``(..., Sq, D)``,
+``k``/``v`` are ``(..., Sk, D)``, an optional boolean ``mask`` broadcastable
+to ``(..., Sq, Sk)`` marks *allowed* positions with ``True``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.softmax import NEG_INF, logsumexp, softmax
+
+
+def _scores(
+    q: np.ndarray,
+    k: np.ndarray,
+    scale: float,
+    mask: np.ndarray | None,
+    bias: np.ndarray | None = None,
+) -> np.ndarray:
+    s = np.matmul(q, np.swapaxes(k, -1, -2)) * scale
+    if bias is not None:
+        s = s + bias  # additive position bias (e.g. ALiBi), pre-mask
+    if mask is not None:
+        s = np.where(mask, s, NEG_INF)
+    return s
+
+
+def attention_reference(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: np.ndarray | None = None,
+    scale: float | None = None,
+    bias: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dense softmax attention.
+
+    Returns ``(o, lse)`` where ``o = softmax(q k^T * scale + bias) v`` and
+    ``lse`` is the per-row logsumexp of the (biased, masked, scaled)
+    scores.  Fully masked rows yield ``o = 0`` and ``lse = -inf``.
+    """
+    if scale is None:
+        scale = 1.0 / np.sqrt(q.shape[-1])
+    s = _scores(q, k, scale, mask, bias)
+    lse = logsumexp(s, axis=-1)
+    p = softmax(s, axis=-1)
+    o = np.matmul(p, v)
+    return o, lse
+
+
+def attention_reference_backward(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    o: np.ndarray,
+    lse: np.ndarray,
+    do: np.ndarray,
+    mask: np.ndarray | None = None,
+    scale: float | None = None,
+    bias: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Dense attention backward using the FlashAttention identity.
+
+    ``dS = P * (dP - D)`` with ``D = rowsum(dO * O)``, which is the same
+    identity BurstAttention's communication rewrite (Eq. 7–8 of the paper)
+    relies on.  A fixed additive ``bias`` (ALiBi) only shifts the
+    recomputed scores; the gradient formulas are unchanged.
+    Returns ``(dq, dk, dv)``.
+    """
+    if scale is None:
+        scale = 1.0 / np.sqrt(q.shape[-1])
+    s = _scores(q, k, scale, mask, bias)
+    lse_e = lse[..., None]
+    lse_safe = np.where(np.isneginf(lse_e), 0.0, lse_e)
+    p = np.exp(np.where(np.isneginf(lse_e), NEG_INF, s - lse_safe))
+    p = np.where(np.isneginf(lse_e), 0.0, p)
+    if mask is not None:
+        p = np.where(mask, p, 0.0)
+
+    dv = np.matmul(np.swapaxes(p, -1, -2), do)
+    dp = np.matmul(do, np.swapaxes(v, -1, -2))
+    d = np.sum(do * o, axis=-1, keepdims=True)  # D_i = rowsum(dO ∘ O)
+    ds = p * (dp - d)
+    dq = np.matmul(ds, k) * scale
+    dk = np.matmul(np.swapaxes(ds, -1, -2), q) * scale
+    return dq, dk, dv

@@ -1,0 +1,82 @@
+"""Numerically safe softmax / logsumexp and the online-softmax merge rule.
+
+The merge rule (Milakov & Gimelshein, 2018) is the algebraic heart of both
+FlashAttention and ring attention: two partial attention states
+``(O_a, lse_a)`` and ``(O_b, lse_b)`` computed over disjoint key sets merge
+into the state over their union via
+
+    lse = log(exp(lse_a) + exp(lse_b))
+    O   = exp(lse_a - lse) * O_a + exp(lse_b - lse) * O_b
+
+Fully-masked rows are represented by ``lse = -inf`` and ``O = 0``; the merge
+handles them without NaNs, so sparse patterns where a block contributes
+nothing to some query rows compose safely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+NEG_INF = -np.inf
+
+
+def logsumexp(scores: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Safe ``log(sum(exp(scores)))`` along ``axis``.
+
+    Rows that are entirely ``-inf`` (fully masked) produce ``-inf`` rather
+    than NaN.
+    """
+    m = np.max(scores, axis=axis, keepdims=True)
+    # Rows of all -inf: shift by 0 instead of -inf to avoid inf - inf.
+    m_safe = np.where(np.isneginf(m), 0.0, m)
+    s = np.sum(np.exp(scores - m_safe), axis=axis, keepdims=True)
+    with np.errstate(divide="ignore"):  # fully-masked rows: log(0) -> -inf
+        out = m_safe + np.log(s)
+    out = np.where(np.isneginf(m), NEG_INF, out)
+    return np.squeeze(out, axis=axis)
+
+
+def softmax(scores: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Safe softmax; fully-masked rows produce all-zero probabilities."""
+    lse = logsumexp(scores, axis=axis)
+    lse_e = np.expand_dims(lse, axis)
+    lse_safe = np.where(np.isneginf(lse_e), 0.0, lse_e)
+    p = np.exp(scores - lse_safe)
+    return np.where(np.isneginf(lse_e), 0.0, p)
+
+
+def merge_lse(lse_a: np.ndarray, lse_b: np.ndarray) -> np.ndarray:
+    """``log(exp(a) + exp(b))`` elementwise, tolerating ``-inf`` inputs."""
+    return np.logaddexp(lse_a, lse_b)
+
+
+def _rescale(lse_part: np.ndarray, lse_total: np.ndarray) -> np.ndarray:
+    """``exp(lse_part - lse_total)`` with 0 where the part is empty."""
+    total_safe = np.where(np.isneginf(lse_total), 0.0, lse_total)
+    w = np.exp(np.where(np.isneginf(lse_part), NEG_INF, lse_part - total_safe))
+    return np.where(np.isneginf(lse_part), 0.0, w)
+
+
+def merge_states(
+    o_a: np.ndarray,
+    lse_a: np.ndarray,
+    o_b: np.ndarray,
+    lse_b: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge two partial attention states over disjoint key sets.
+
+    ``o_*`` has shape ``(..., S, D)`` and ``lse_*`` shape ``(..., S)``.
+    Returns the merged ``(o, lse)``.
+    """
+    lse = merge_lse(lse_a, lse_b)
+    w_a = _rescale(lse_a, lse)[..., None]
+    w_b = _rescale(lse_b, lse)[..., None]
+    o = w_a * o_a + w_b * o_b
+    return o, lse
+
+
+def empty_state(shape_o: tuple[int, ...], dtype=np.float64) -> tuple[np.ndarray, np.ndarray]:
+    """The identity element of :func:`merge_states`: zero output, -inf lse."""
+    o = np.zeros(shape_o, dtype=dtype)
+    lse = np.full(shape_o[:-1], NEG_INF, dtype=dtype)
+    return o, lse

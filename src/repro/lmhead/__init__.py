@@ -1,0 +1,36 @@
+"""Language-modeling head + cross-entropy implementations.
+
+Three implementations of ``loss = CE(softmax(H W^T), Y)`` that trade memory
+against compute exactly as the systems the paper compares:
+
+* :func:`naive_lm_head_loss` — materialises the full ``N x v`` logits (and
+  keeps them for backward): the memory wall of Figure 8.
+* :func:`tiled_lm_head_loss` — the Mini-Sequence / Cut-Your-Losses style
+  tiling: only ``Lse`` is stored, logits tiles are **recomputed** in the
+  backward pass (low memory, extra compute).
+* :func:`fused_lm_head_loss` — the paper's Algorithm 3: one tile loop
+  computes the loss *and* the gradients, so logits are neither stored nor
+  recomputed.
+
+All three produce identical losses and gradients (tests assert to 1e-10);
+:class:`HeadStats` records the peak temporary bytes and matmul FLOPs each
+performs, which feed the memory model (Fig. 8) and the ablation (Table 2).
+"""
+
+from repro.lmhead.heads import (
+    HeadResult,
+    HeadStats,
+    naive_lm_head_loss,
+    tiled_lm_head_loss,
+    fused_lm_head_loss,
+    HEAD_IMPLEMENTATIONS,
+)
+
+__all__ = [
+    "HeadResult",
+    "HeadStats",
+    "naive_lm_head_loss",
+    "tiled_lm_head_loss",
+    "fused_lm_head_loss",
+    "HEAD_IMPLEMENTATIONS",
+]

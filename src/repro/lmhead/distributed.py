@@ -1,0 +1,145 @@
+"""Vocab-parallel fused LM head + loss.
+
+The paper's sequence-level fusion keeps the vocabulary matrix replicated
+and shards the *sequence*; at very large vocabularies the weight itself
+(``v x d``) and its gradient become worth sharding too.  This module
+implements the vocabulary-parallel variant on the simulated cluster:
+
+* rank ``r`` holds the vocab shard ``W_r`` (``v/G x d``) and the full
+  hidden block ``H`` (or its sequence shard);
+* each rank runs the Algorithm-3 tile loop over *its* vocab shard,
+  producing a partial ``Lse_r`` and partial gradients;
+* one all-reduce merges the row-wise LSEs (log-sum-exp across shards),
+  after which the local probability tiles are rescaled — algebraically
+  identical to the single-device fused head;
+* ``dH`` partials are summed with a second all-reduce; ``dW_r`` stays
+  local (its owner holds the shard).
+
+Communication per rank: two all-reduces of ``N`` and ``N x d`` elements —
+independent of ``v``, which is the entire point.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.comm import SimCommunicator
+from repro.kernels.softmax import logsumexp
+from repro.lmhead.heads import HeadResult, HeadStats, _grad_scale
+
+
+def shard_vocab(w: np.ndarray, g: int) -> list[np.ndarray]:
+    """Split the vocab weight ``(v, d)`` into ``g`` row shards."""
+    v = w.shape[0]
+    if v % g != 0:
+        raise ValueError(f"vocab size {v} not divisible by {g} ranks")
+    step = v // g
+    return [w[r * step : (r + 1) * step] for r in range(g)]
+
+
+def vocab_parallel_fused_loss(
+    comm: SimCommunicator,
+    h: np.ndarray,
+    w_shards: Sequence[np.ndarray],
+    y: np.ndarray,
+    reduction: str = "mean",
+    block_seq: int = 128,
+    *,
+    phase: str = "lmhead",
+) -> tuple[float, np.ndarray, list[np.ndarray]]:
+    """Fused head + CE with the vocabulary sharded across ranks.
+
+    ``h`` is the full ``(N, d)`` hidden block (replicated view in this
+    single-process simulation), ``w_shards[r]`` rank ``r``'s vocab rows.
+    Returns ``(loss, dh, dw_shards)`` — numerically identical to
+    :func:`repro.lmhead.fused_lm_head_loss` on the concatenated weight.
+    """
+    g = comm.world_size
+    if len(w_shards) != g:
+        raise ValueError(f"expected {g} weight shards, got {len(w_shards)}")
+    n, d = h.shape
+    vs = w_shards[0].shape[0]
+    gscale = _grad_scale(n, reduction)
+
+    # --- local pass: per-shard lse and logits tiles (Alg. 3 structure) -----
+    local_lse = []
+    for r in range(g):
+        lse_r = np.full(n, -np.inf)
+        for s0 in range(0, n, block_seq):
+            s1 = min(s0 + block_seq, n)
+            tile = h[s0:s1] @ w_shards[r].T
+            lse_r[s0:s1] = np.logaddexp(
+                lse_r[s0:s1], logsumexp(tile, axis=-1)
+            )
+        local_lse.append(lse_r)
+
+    # --- all-reduce the LSEs (log-sum-exp combine via max + sum(exp)) ------
+    # Implemented as an all-reduce of exp-shifted values; volume N per rank.
+    stacked = np.stack(local_lse)
+    m = stacked.max(axis=0)
+    shifted = [np.exp(l - m) for l in local_lse]
+    summed = comm.all_reduce(shifted, phase=phase, tag="lse-allreduce")
+    global_lse = m + np.log(summed[0])
+
+    # --- loss: the target logit lives on exactly one shard -----------------
+    shard_of = y // vs
+    local_row = y % vs
+    target_logit = np.empty(n)
+    for r in range(g):
+        rows = np.where(shard_of == r)[0]
+        if len(rows):
+            target_logit[rows] = np.einsum(
+                "nd,nd->n", h[rows], w_shards[r][local_row[rows]]
+            )
+    loss = float((global_lse - target_logit).sum() * gscale)
+
+    # --- fused backward per shard, dH partials all-reduced ------------------
+    dh_partials = []
+    dw_shards = []
+    for r in range(g):
+        dh_r = np.zeros_like(h)
+        dw_r = np.zeros_like(w_shards[r])
+        for s0 in range(0, n, block_seq):
+            s1 = min(s0 + block_seq, n)
+            rows = np.arange(s0, s1)
+            tile = h[s0:s1] @ w_shards[r].T
+            p = np.exp(tile - global_lse[s0:s1, None])
+            in_shard = shard_of[rows] == r
+            p[np.arange(len(rows))[in_shard], local_row[rows][in_shard]] -= 1.0
+            p *= gscale
+            dh_r[s0:s1] += p @ w_shards[r]
+            dw_r += p.T @ h[s0:s1]
+        dh_partials.append(dh_r)
+        dw_shards.append(dw_r)
+    dh = comm.all_reduce(dh_partials, phase=phase, tag="dh-allreduce")[0]
+    return loss, dh, dw_shards
+
+
+def vocab_parallel_head_result(
+    comm: SimCommunicator,
+    h: np.ndarray,
+    w: np.ndarray,
+    y: np.ndarray,
+    reduction: str = "mean",
+    block_seq: int = 128,
+) -> HeadResult:
+    """Convenience wrapper matching the single-device head API: shards
+    ``w`` internally and reassembles ``dw``."""
+    g = comm.world_size
+    shards = shard_vocab(w, g)
+    loss, dh, dw_shards = vocab_parallel_fused_loss(
+        comm, h, shards, y, reduction=reduction, block_seq=block_seq
+    )
+    dw = np.concatenate(dw_shards, axis=0)
+    n, d = h.shape
+    v = w.shape[0]
+    stats = HeadStats(
+        name="vocab-parallel-fused",
+        peak_resident_bytes=0,
+        peak_temp_bytes=min(block_seq, n) * (v // g) * 8,
+        matmul_flops=3 * 2 * n * v * d,  # split across ranks
+    )
+    lse = np.empty(0)  # recomputable; not returned by the parallel path
+    return HeadResult(loss=loss, dh=dh, dw=dw, lse=lse, stats=stats)

@@ -1,0 +1,233 @@
+"""LM head + cross-entropy: naive, tiled-recompute, and fused (Alg. 3).
+
+Semantics shared by all three implementations::
+
+    Logits = H @ W^T                    # (N, v)
+    loss   = CE(softmax(Logits), Y)     # mean or sum over tokens
+    dH, dW = d loss / d(H, W)
+
+The implementations differ only in *what is materialised when*:
+
+===============  =========================  ==========================
+implementation   persists fwd->bwd          extra backward compute
+===============  =========================  ==========================
+naive            full logits (N*v)          none
+tiled            Lse (N)                    recompute logits (+2Nvd)
+fused (Alg. 3)   nothing (grads produced    none (backward fused into
+                 in the forward pass)       the forward tile loop)
+===============  =========================  ==========================
+
+The fused kernel caches the logits tiles of the *current* sequence block
+only (``B_s * v`` transient), runs the backward tile loop immediately
+after the block's ``Lse`` is final, and emits ``dH``/``dW`` directly —
+this is the sequence-level fusion of Section 3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.softmax import logsumexp
+
+
+@dataclass(frozen=True)
+class HeadStats:
+    """Cost accounting for one head+loss implementation run.
+
+    ``peak_resident_bytes`` is what must live from forward to backward
+    (the Fig. 8 quantity); ``peak_temp_bytes`` is the largest transient
+    buffer; ``matmul_flops`` counts multiply-adds x2 in the big GEMMs.
+    """
+
+    name: str
+    peak_resident_bytes: int
+    peak_temp_bytes: int
+    matmul_flops: int
+
+
+@dataclass
+class HeadResult:
+    """Loss value, input/weight gradients, and cost statistics."""
+
+    loss: float
+    dh: np.ndarray
+    dw: np.ndarray
+    lse: np.ndarray
+    stats: HeadStats
+
+
+def _validate(h: np.ndarray, w: np.ndarray, y: np.ndarray) -> None:
+    if h.ndim != 2 or w.ndim != 2:
+        raise ValueError(f"H must be (N, d) and W (v, d); got {h.shape}, {w.shape}")
+    if h.shape[1] != w.shape[1]:
+        raise ValueError(f"hidden dims differ: {h.shape[1]} vs {w.shape[1]}")
+    if y.shape != (h.shape[0],):
+        raise ValueError(f"targets must be ({h.shape[0]},), got {y.shape}")
+    if (y < 0).any() or (y >= w.shape[0]).any():
+        raise ValueError("target ids out of vocabulary range")
+
+
+def _grad_scale(n: int, reduction: str) -> float:
+    if reduction == "mean":
+        return 1.0 / n
+    if reduction == "sum":
+        return 1.0
+    raise ValueError(f"reduction must be 'mean' or 'sum', got {reduction!r}")
+
+
+def naive_lm_head_loss(
+    h: np.ndarray, w: np.ndarray, y: np.ndarray, reduction: str = "mean"
+) -> HeadResult:
+    """Reference implementation materialising the full logits matrix."""
+    _validate(h, w, y)
+    n, d = h.shape
+    v = w.shape[0]
+    gscale = _grad_scale(n, reduction)
+
+    logits = h @ w.T                      # (N, v) — the Fig. 8 memory wall
+    lse = logsumexp(logits, axis=-1)
+    token_loss = lse - logits[np.arange(n), y]
+    loss = float(token_loss.sum() * gscale)
+
+    p = np.exp(logits - lse[:, None])
+    p[np.arange(n), y] -= 1.0
+    p *= gscale
+    dh = p @ w
+    dw = p.T @ h
+
+    stats = HeadStats(
+        name="naive",
+        peak_resident_bytes=n * v * 8,
+        peak_temp_bytes=n * v * 8,
+        matmul_flops=3 * 2 * n * v * d,
+    )
+    return HeadResult(loss=loss, dh=dh, dw=dw, lse=lse, stats=stats)
+
+
+def tiled_lm_head_loss(
+    h: np.ndarray,
+    w: np.ndarray,
+    y: np.ndarray,
+    reduction: str = "mean",
+    block_seq: int = 128,
+    block_vocab: int = 512,
+) -> HeadResult:
+    """Tiled head with backward-time recomputation (Mini-Sequence style).
+
+    Forward stores only ``Lse``; the backward pass re-forms every logits
+    tile, paying one extra ``2Nvd`` matmul — the "unnecessary computation
+    overhead" Algorithm 3 removes.
+    """
+    _validate(h, w, y)
+    n, d = h.shape
+    v = w.shape[0]
+    gscale = _grad_scale(n, reduction)
+
+    # ---- forward: lse only -------------------------------------------------
+    lse = np.full(n, -np.inf)
+    for s0 in range(0, n, block_seq):
+        s1 = min(s0 + block_seq, n)
+        for v0 in range(0, v, block_vocab):
+            v1 = min(v0 + block_vocab, v)
+            tile = h[s0:s1] @ w[v0:v1].T
+            lse[s0:s1] = np.logaddexp(lse[s0:s1], logsumexp(tile, axis=-1))
+    target_logit = np.einsum("nd,nd->n", h, w[y])
+    loss = float((lse - target_logit).sum() * gscale)
+
+    # ---- backward: recompute tiles -----------------------------------------
+    dh = np.zeros_like(h)
+    dw = np.zeros_like(w)
+    for s0 in range(0, n, block_seq):
+        s1 = min(s0 + block_seq, n)
+        rows = np.arange(s0, s1)
+        for v0 in range(0, v, block_vocab):
+            v1 = min(v0 + block_vocab, v)
+            tile = h[s0:s1] @ w[v0:v1].T  # recomputation
+            p = np.exp(tile - lse[s0:s1, None])
+            in_tile = (y[rows] >= v0) & (y[rows] < v1)
+            p[np.arange(len(rows))[in_tile], y[rows][in_tile] - v0] -= 1.0
+            p *= gscale
+            dh[s0:s1] += p @ w[v0:v1]
+            dw[v0:v1] += p.T @ h[s0:s1]
+
+    stats = HeadStats(
+        name="tiled-recompute",
+        peak_resident_bytes=n * 8,  # lse only
+        peak_temp_bytes=min(block_seq, n) * min(block_vocab, v) * 8,
+        matmul_flops=4 * 2 * n * v * d,  # logits twice + dH + dW
+    )
+    return HeadResult(loss=loss, dh=dh, dw=dw, lse=lse, stats=stats)
+
+
+def fused_lm_head_loss(
+    h: np.ndarray,
+    w: np.ndarray,
+    y: np.ndarray,
+    reduction: str = "mean",
+    block_seq: int = 128,
+    block_vocab: int = 512,
+) -> HeadResult:
+    """Algorithm 3: sequence-level fusion of LM head and loss.
+
+    One pass over sequence blocks: the vocab tile loop first finalises the
+    block's ``Lse`` (caching that block's logits tiles), then immediately
+    runs the backward tile loop — no logits are stored across blocks and
+    none are recomputed.  Gradients come out of the forward pass, which is
+    exactly why this composes with sequence-level checkpointing: the head
+    never participates in the later autograd backward sweep.
+    """
+    _validate(h, w, y)
+    n, d = h.shape
+    v = w.shape[0]
+    gscale = _grad_scale(n, reduction)
+
+    lse = np.full(n, -np.inf)
+    dh = np.zeros_like(h)
+    dw = np.zeros_like(w)
+    loss_acc = 0.0
+
+    n_vtiles = (v + block_vocab - 1) // block_vocab
+    for s0 in range(0, n, block_seq):
+        s1 = min(s0 + block_seq, n)
+        rows = np.arange(s0, s1)
+        h_blk = h[s0:s1]
+
+        # forward vocab loop: logits tiles for THIS block cached, lse built
+        tiles: list[np.ndarray] = []
+        for v0 in range(0, v, block_vocab):
+            v1 = min(v0 + block_vocab, v)
+            tile = h_blk @ w[v0:v1].T
+            tiles.append(tile)
+            lse[s0:s1] = np.logaddexp(lse[s0:s1], logsumexp(tile, axis=-1))
+
+        target_logit = np.einsum("nd,nd->n", h_blk, w[y[rows]])
+        loss_acc += float((lse[s0:s1] - target_logit).sum())
+
+        # fused backward vocab loop (Alg. 3 lines 8-13): reuse cached tiles
+        for j, v0 in enumerate(range(0, v, block_vocab)):
+            v1 = min(v0 + block_vocab, v)
+            p = np.exp(tiles[j] - lse[s0:s1, None])
+            in_tile = (y[rows] >= v0) & (y[rows] < v1)
+            p[np.arange(len(rows))[in_tile], y[rows][in_tile] - v0] -= 1.0
+            p *= gscale
+            dh[s0:s1] += p @ w[v0:v1]
+            dw[v0:v1] += p.T @ h_blk
+        del tiles
+
+    loss = loss_acc * gscale
+    stats = HeadStats(
+        name="fused",
+        peak_resident_bytes=0,  # grads emitted immediately; nothing kept
+        peak_temp_bytes=min(block_seq, n) * v * 8,  # one block's logits
+        matmul_flops=3 * 2 * n * v * d,  # logits once + dH + dW
+    )
+    return HeadResult(loss=loss, dh=dh, dw=dw, lse=lse, stats=stats)
+
+
+HEAD_IMPLEMENTATIONS = {
+    "naive": naive_lm_head_loss,
+    "tiled-recompute": tiled_lm_head_loss,
+    "fused": fused_lm_head_loss,
+}

@@ -1,0 +1,33 @@
+"""Attention mask patterns (causal, sliding-window, dilated, block-sparse).
+
+Masks are defined as *predicates over global token positions*, not dense
+matrices: :meth:`MaskPattern.block` takes arrays of global query indices and
+global key indices and returns the boolean tile between them.  Because
+distributed partitions (contiguous, zigzag, striped, block-balanced) carry
+their global index arrays, every distributed attention method obtains the
+correct mask for any shard pair for free — this is what makes the sparse
+attention integration of the paper compose with ring communication.
+"""
+
+from repro.masks.patterns import (
+    MaskPattern,
+    FullMask,
+    CausalMask,
+    ALiBiMask,
+    SlidingWindowMask,
+    DilatedMask,
+    LocalGlobalMask,
+)
+from repro.masks.blockmask import BlockSparseMask, sliding_window_block_mask
+
+__all__ = [
+    "MaskPattern",
+    "FullMask",
+    "CausalMask",
+    "ALiBiMask",
+    "SlidingWindowMask",
+    "DilatedMask",
+    "LocalGlobalMask",
+    "BlockSparseMask",
+    "sliding_window_block_mask",
+]

@@ -1,0 +1,103 @@
+"""Model-scale descriptors for the paper's evaluation models.
+
+The experiments use LLaMA-architecture Transformers at two scales:
+
+* **7B** — 32 layers, 32 heads, 4096 hidden, 32K vocab;
+* **14B** — 40 layers, 40 heads, 5120 hidden, 120K vocab.
+
+These descriptors drive the analytic FLOPs and memory models; they are
+*not* instantiated as numpy weights (the numeric engine uses tiny configs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Architecture description sufficient for FLOPs/memory accounting."""
+
+    name: str
+    n_layers: int
+    n_heads: int
+    hidden: int
+    vocab: int
+    ffn_hidden: int | None = None  # defaults to LLaMA's 8/3 * hidden
+    n_kv_heads: int | None = None  # GQA; defaults to MHA
+
+    @property
+    def kv_heads(self) -> int:
+        return self.n_kv_heads if self.n_kv_heads is not None else self.n_heads
+
+    @property
+    def kv_ratio(self) -> float:
+        """KV width relative to query width (1.0 for MHA)."""
+        return self.kv_heads / self.n_heads
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.n_heads
+
+    @property
+    def ffn(self) -> int:
+        if self.ffn_hidden is not None:
+            return self.ffn_hidden
+        # LLaMA SwiGLU sizing: 2/3 * 4h rounded to a multiple of 256.
+        raw = int(8 * self.hidden / 3)
+        return ((raw + 255) // 256) * 256
+
+    @property
+    def n_params(self) -> int:
+        """Parameter count: embeddings + per-layer attention/FFN/norms + head."""
+        kv_dim = int(self.hidden * self.kv_ratio)
+        per_layer = (
+            2 * self.hidden * self.hidden      # Wq, Wo
+            + 2 * self.hidden * kv_dim         # Wk, Wv (GQA-narrow)
+            + 3 * self.hidden * self.ffn       # gate, up, down
+            + 2 * self.hidden                  # two RMSNorms
+        )
+        embeddings = self.vocab * self.hidden
+        head = self.vocab * self.hidden
+        return self.n_layers * per_layer + embeddings + head + self.hidden
+
+    def flops_per_token(self, seq_len: int, causal: bool = True) -> float:
+        """Training FLOPs per token (fwd + bwd) at sequence length ``seq_len``.
+
+        Uses the standard ``6 * params`` for matmul parameters plus the
+        attention term ``12 * hidden * seq_len * causal_factor`` per token
+        (QK^T and PV, forward 2 matmuls + backward 4, halved for causal).
+        """
+        kv_dim = int(self.hidden * self.kv_ratio)
+        dense_params = self.n_layers * (
+            2 * self.hidden * self.hidden + 2 * self.hidden * kv_dim
+            + 3 * self.hidden * self.ffn
+        ) + self.vocab * self.hidden
+        linear = 6.0 * dense_params
+        causal_factor = 0.5 if causal else 1.0
+        attn = self.n_layers * 12.0 * self.hidden * seq_len * causal_factor
+        return linear + attn
+
+    def attention_fraction(self, seq_len: int, causal: bool = True) -> float:
+        """Share of training time spent in attention matmuls (Fig. 2)."""
+        total = self.flops_per_token(seq_len, causal)
+        causal_factor = 0.5 if causal else 1.0
+        attn = self.n_layers * 12.0 * self.hidden * seq_len * causal_factor
+        return attn / total
+
+
+LLAMA_7B = ModelSpec(name="7B", n_layers=32, n_heads=32, hidden=4096, vocab=32_000)
+LLAMA_14B = ModelSpec(name="14B", n_layers=40, n_heads=40, hidden=5120, vocab=120_000)
+
+#: LLaMA-3-70B-style GQA model (64 query heads sharing 8 KV heads) — used
+#: by the GQA extension analyses, not by the paper's own experiments.
+LLAMA_70B_GQA = ModelSpec(
+    name="70B-gqa", n_layers=80, n_heads=64, hidden=8192, vocab=128_256,
+    ffn_hidden=28_672, n_kv_heads=8,
+)
+
+#: Vocabulary comparison for Fig. 8 (LLaMA-1/2 32K vs LLaMA-3 128K).
+LLAMA2_VOCAB = 32_000
+LLAMA3_VOCAB = 128_256
+
+MODEL_SPECS = {"7B": LLAMA_7B, "14B": LLAMA_14B}

@@ -1,0 +1,78 @@
+"""A compact numpy autograd engine and transformer module zoo.
+
+This is the "PyTorch substrate" of the reproduction: enough reverse-mode
+autodiff to train real (small) LLaMA-architecture models end-to-end on the
+simulated cluster, with the three places the paper customises exposed as
+pluggable pieces:
+
+* attention runs through custom :class:`~repro.nn.function.Function` nodes
+  backed by the flash / distributed kernels;
+* gradient checkpointing policies (none / full / selective++ /
+  sequence-level) control what those nodes save — see
+  :mod:`repro.nn.checkpoint`;
+* the LM head + loss is a fused function (Algorithm 3) that emits input
+  and weight gradients without storing logits.
+
+Activation memory is accounted by :class:`~repro.nn.memory.MemoryTracker`,
+so the checkpointing claims (Fig. 7) are *measured*, not asserted.
+"""
+
+from repro.nn.tensor import Tensor, no_grad, is_grad_enabled
+from repro.nn.function import Function
+from repro.nn import ops
+from repro.nn.modules import (
+    Module,
+    Linear,
+    Embedding,
+    RMSNorm,
+    SwiGLU,
+    CausalSelfAttention,
+    TransformerBlock,
+    TransformerLM,
+    TransformerConfig,
+)
+from repro.nn.optim import SGD, Adam, AdamW
+from repro.nn.memory import MemoryTracker, get_tracker, reset_tracker
+from repro.nn.checkpoint import CheckpointPolicy
+from repro.nn.schedule import (
+    ConstantLR,
+    InverseSqrtLR,
+    WarmupCosineLR,
+    clip_grad_norm,
+    grad_global_norm,
+)
+from repro.nn.serialization import load_model, save_model
+from repro.nn.rope import apply_rope, rope_angles
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "Function",
+    "ops",
+    "Module",
+    "Linear",
+    "Embedding",
+    "RMSNorm",
+    "SwiGLU",
+    "CausalSelfAttention",
+    "TransformerBlock",
+    "TransformerLM",
+    "TransformerConfig",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "MemoryTracker",
+    "get_tracker",
+    "reset_tracker",
+    "CheckpointPolicy",
+    "ConstantLR",
+    "InverseSqrtLR",
+    "WarmupCosineLR",
+    "clip_grad_norm",
+    "grad_global_norm",
+    "load_model",
+    "save_model",
+    "apply_rope",
+    "rope_angles",
+]

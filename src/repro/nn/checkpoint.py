@@ -1,0 +1,178 @@
+"""Gradient checkpointing with the paper's policy menu (Section 3.2).
+
+Policies
+--------
+``none``
+    No checkpointing: every Function saves its backward state; maximal
+    memory, zero recomputation.
+``full``
+    Classic gradient checkpointing [Chen et al. 2016]: only the layer
+    *inputs* persist; the whole layer — including attention — is re-run in
+    the backward pass.
+``selective_pp``
+    Selective checkpointing++ [DISTFLASHATTN / LoongTrain]: like ``full``
+    but the attention outputs ``(O, lse)`` are whitelisted and stored, so
+    the expensive attention forward is never recomputed.  Costs ``O(N d)``
+    extra memory per layer — the Fig. 7 blow-up.
+``sequence_level``
+    The paper's scheme: store ``(O, lse)`` only for the *latter*
+    ``1 - split_fraction`` of the sequence (whose causal recomputation
+    would be expensive) and recompute attention only for the cheap front
+    segment.  With ``split_fraction = 0.5`` this stores half of
+    selective++'s whitelist while re-doing only ~25 % of the attention
+    forward FLOPs.
+
+:class:`Checkpoint` is the Function that implements the store-inputs /
+re-run-in-backward mechanics; :func:`in_recompute` lets the attention
+function know the current forward is a recomputation so it can consult its
+output cache.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.function import Function
+from repro.nn.memory import get_tracker
+from repro.nn.tensor import Tensor, no_grad
+
+
+class CheckpointMode(enum.Enum):
+    NONE = "none"
+    FULL = "full"
+    SELECTIVE_PP = "selective_pp"
+    SEQUENCE_LEVEL = "sequence_level"
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Layer recomputation policy.
+
+    ``split_fraction`` only applies to ``sequence_level``: the fraction of
+    the sequence (the front) that is recomputed rather than stored.
+    """
+
+    mode: CheckpointMode = CheckpointMode.NONE
+    split_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.split_fraction < 1.0:
+            if self.mode is CheckpointMode.SEQUENCE_LEVEL:
+                raise ValueError(
+                    f"split_fraction must be in (0, 1), got {self.split_fraction}"
+                )
+
+    @classmethod
+    def parse(cls, spec: str, split_fraction: float = 0.5) -> "CheckpointPolicy":
+        return cls(mode=CheckpointMode(spec), split_fraction=split_fraction)
+
+    @property
+    def checkpoints_layer(self) -> bool:
+        return self.mode is not CheckpointMode.NONE
+
+    @property
+    def caches_attention_output(self) -> bool:
+        return self.mode in (
+            CheckpointMode.SELECTIVE_PP,
+            CheckpointMode.SEQUENCE_LEVEL,
+        )
+
+    def cached_fraction(self) -> float:
+        """Fraction of the attention output persisted across fwd->bwd."""
+        if self.mode is CheckpointMode.SELECTIVE_PP:
+            return 1.0
+        if self.mode is CheckpointMode.SEQUENCE_LEVEL:
+            return 1.0 - self.split_fraction
+        return 0.0
+
+
+_in_recompute: bool = False
+
+
+def in_recompute() -> bool:
+    """True while a :class:`Checkpoint` node is re-running its layer."""
+    return _in_recompute
+
+
+class Checkpoint(Function):
+    """Store layer inputs, re-run the layer in backward.
+
+    ``fn`` maps input Tensors to a single output Tensor.  The first pass
+    runs under ``no_grad`` so no intermediate state is registered; the
+    backward pass replays ``fn`` with gradients enabled (flagged via
+    :func:`in_recompute` so attention caches engage) and backpropagates
+    through the fresh subgraph.
+    """
+
+    def forward(self, *raw_inputs, fn=None):
+        if fn is None:
+            raise ValueError("Checkpoint requires fn=")
+        self.fn = fn
+        self.save_for_backward(*raw_inputs)
+        with no_grad():
+            out = fn(*[Tensor(r) for r in raw_inputs])
+        return out.data
+
+    def backward(self, grad_out: np.ndarray):
+        global _in_recompute
+        inputs = [Tensor(r, requires_grad=True) for r in self.saved]
+        prev = _in_recompute
+        _in_recompute = True
+        try:
+            out = self.fn(*inputs)
+        finally:
+            _in_recompute = prev
+        out.backward(grad_out)
+        return tuple(inp.grad for inp in inputs)
+
+
+def checkpoint(fn, *inputs: Tensor) -> Tensor:
+    """Apply ``fn`` with gradient checkpointing."""
+    return Checkpoint.apply(*inputs, fn=fn)
+
+
+class AttentionOutputCache:
+    """Whitelisted attention outputs that survive until backward.
+
+    Holds ``(O, lse)`` (possibly only a sequence suffix) registered with
+    the memory tracker so the extra footprint of selective++ /
+    sequence-level checkpointing is measured.  Entries are consumed by the
+    recompute pass; :meth:`clear` drops anything left (e.g. at step end).
+    """
+
+    def __init__(self):
+        self._store: dict[int, tuple[np.ndarray, np.ndarray, int]] = {}
+        self._counter = 0
+
+    def put(self, key: int, o: np.ndarray, lse: np.ndarray) -> None:
+        handle = get_tracker().register(o.nbytes + lse.nbytes)
+        self._store[key] = (o, lse, handle)
+
+    def get(self, key: int) -> tuple[np.ndarray, np.ndarray] | None:
+        entry = self._store.get(key)
+        if entry is None:
+            return None
+        return entry[0], entry[1]
+
+    def pop(self, key: int) -> tuple[np.ndarray, np.ndarray] | None:
+        entry = self._store.pop(key, None)
+        if entry is None:
+            return None
+        o, lse, handle = entry
+        get_tracker().release(handle)
+        return o, lse
+
+    def next_key(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        for _, _, handle in self._store.values():
+            get_tracker().release(handle)
+        self._store.clear()

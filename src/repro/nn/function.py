@@ -1,0 +1,76 @@
+"""Autograd Function base class.
+
+Subclasses implement ``forward(self, *raw_args, **kwargs)`` operating on
+numpy arrays / plain Python values and ``backward(self, grad_out)``
+returning one numpy gradient (or ``None``) per *tensor* input, positionally.
+
+``save_for_backward`` registers the saved arrays' bytes with the global
+:class:`~repro.nn.memory.MemoryTracker`; the engine releases them as soon
+as the node's backward has run, so peak activation memory is measured
+faithfully.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.memory import get_tracker
+from repro.nn.tensor import Tensor, is_grad_enabled
+
+
+class Function:
+    """One differentiable operation in the dynamic graph."""
+
+    def __init__(self):
+        self.saved: tuple = ()
+        self._mem_handle: int | None = None
+
+    # --- subclass API --------------------------------------------------------
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def save_for_backward(self, *arrays) -> None:
+        """Stash arrays needed by backward, accounting their bytes.
+
+        Under ``no_grad`` (e.g. checkpoint recomputation's throwaway pass)
+        nothing is registered, so measured peaks reflect only activations
+        that actually persist.
+        """
+        self.saved = arrays
+        if is_grad_enabled():
+            nbytes = sum(a.nbytes for a in arrays if isinstance(a, np.ndarray))
+            self._mem_handle = get_tracker().register(nbytes)
+
+    def release_saved(self) -> None:
+        if self._mem_handle is not None:
+            get_tracker().release(self._mem_handle)
+            self._mem_handle = None
+        self.saved = ()
+
+    # --- graph construction ----------------------------------------------------
+
+    @classmethod
+    def apply(cls, *args, **kwargs) -> Tensor:
+        """Run forward and (if grad is enabled) attach the node to the graph.
+
+        Tensor arguments are unwrapped to numpy for ``forward``; the node's
+        ``backward`` must return gradients for exactly the tensor arguments,
+        in order.
+        """
+        ctx = cls()
+        tensor_inputs = [a for a in args if isinstance(a, Tensor)]
+        raw = [a.data if isinstance(a, Tensor) else a for a in args]
+        out_data = ctx.forward(*raw, **kwargs)
+        requires = is_grad_enabled() and any(
+            t.requires_grad or t._ctx is not None for t in tensor_inputs
+        )
+        out = Tensor(out_data, requires_grad=requires)
+        if requires:
+            out._ctx = (ctx, tensor_inputs)
+        else:
+            ctx.release_saved()
+        return out

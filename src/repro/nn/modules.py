@@ -1,0 +1,453 @@
+"""Transformer modules on the numpy autograd engine.
+
+A small LLaMA-architecture stack (RMSNorm, SwiGLU FFN, multi-head causal
+attention, tied token/position embeddings optional) sized for tests and
+examples.  The block honours a :class:`~repro.nn.checkpoint.CheckpointPolicy`
+and the LM head runs any of the three head implementations of
+:mod:`repro.lmhead` as a fused autograd node.
+
+Activations carry no batch axis — one sequence per step, shapes ``(S, D)``
+— which is exactly the long-context regime the paper targets (a 1M-token
+sequence *is* the batch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.lmhead import HEAD_IMPLEMENTATIONS
+from repro.masks import CausalMask, MaskPattern
+from repro.nn import ops
+from repro.nn.attention_fn import flash_attention
+from repro.nn.checkpoint import (
+    AttentionOutputCache,
+    CheckpointPolicy,
+    checkpoint,
+)
+from repro.nn.function import Function
+from repro.nn.memory import get_tracker
+from repro.nn.tensor import Tensor
+
+
+class Module:
+    """Minimal module base: parameter discovery, grad reset, train/eval."""
+
+    training: bool = True
+
+    def parameters(self) -> list[Tensor]:
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        """This module and every descendant."""
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def train(self) -> "Module":
+        """Enable training behaviour (dropout active) recursively."""
+        for m in self.modules():
+            m.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Disable stochastic layers recursively."""
+        for m in self.modules():
+            m.training = False
+        return self
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        for name, value in vars(self).items():
+            full = f"{prefix}.{name}" if prefix else name
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(full)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{full}.{i}")
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+def _init(rng: np.random.Generator, *shape: int, scale: float | None = None) -> np.ndarray:
+    fan_in = shape[-1] if len(shape) > 1 else shape[0]
+    scale = scale if scale is not None else 1.0 / np.sqrt(fan_in)
+    return rng.normal(0.0, scale, size=shape)
+
+
+class Linear(Module):
+    """``y = x W^T`` (no bias, LLaMA-style)."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        self.weight = Tensor(
+            _init(rng, out_features, in_features), requires_grad=True, name="weight"
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.matmul(x, ops.swapaxes(self.weight, 0, 1))
+
+
+class Embedding(Module):
+    """Token-id -> vector lookup."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator):
+        self.weight = Tensor(
+            _init(rng, num_embeddings, dim, scale=0.02),
+            requires_grad=True,
+            name="embedding",
+        )
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        return ops.embedding(self.weight, ids)
+
+
+class RMSNorm(Module):
+    def __init__(self, dim: int, eps: float = 1e-6):
+        self.weight = Tensor(np.ones(dim), requires_grad=True, name="rms_weight")
+        self.eps = eps
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.rms_norm(x, self.weight, eps=self.eps)
+
+
+class SwiGLU(Module):
+    """LLaMA FFN: ``down(silu(gate(x)) * up(x))``."""
+
+    def __init__(self, dim: int, hidden: int, rng: np.random.Generator):
+        self.gate = Linear(dim, hidden, rng)
+        self.up = Linear(dim, hidden, rng)
+        self.down = Linear(hidden, dim, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.down(ops.mul(ops.silu(self.gate(x)), self.up(x)))
+
+
+class CausalSelfAttention(Module):
+    """Multi-head attention over ``(S, D)`` activations.
+
+    The mask defaults to causal but accepts any
+    :class:`~repro.masks.MaskPattern` (the sparse-attention integration).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        n_heads: int,
+        rng: np.random.Generator,
+        mask: MaskPattern | None = None,
+        block_size: int = 64,
+        n_kv_heads: int | None = None,
+        rope: bool = False,
+        rope_theta: float = 10_000.0,
+    ):
+        if dim % n_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by heads {n_heads}")
+        if rope and (dim // n_heads) % 2 != 0:
+            raise ValueError("RoPE needs an even head dimension")
+        self.rope = rope
+        self.rope_theta = rope_theta
+        self.n_heads = n_heads
+        self.n_kv_heads = n_kv_heads if n_kv_heads is not None else n_heads
+        if self.n_kv_heads < 1 or n_heads % self.n_kv_heads != 0:
+            raise ValueError(
+                f"{n_heads} heads not divisible by {self.n_kv_heads} KV heads"
+            )
+        self.head_dim = dim // n_heads
+        kv_dim = self.n_kv_heads * self.head_dim
+        self.wq = Linear(dim, dim, rng)
+        self.wk = Linear(dim, kv_dim, rng)
+        self.wv = Linear(dim, kv_dim, rng)
+        self.wo = Linear(dim, dim, rng)
+        self.mask = mask if mask is not None else CausalMask()
+        self.block_size = block_size
+        self.cache = AttentionOutputCache()
+        self.policy: CheckpointPolicy = CheckpointPolicy()
+
+    def _split_heads(self, x: Tensor, s: int, n_heads: int | None = None) -> Tensor:
+        h = n_heads if n_heads is not None else self.n_heads
+        return ops.swapaxes(ops.reshape(x, (s, h, self.head_dim)), 0, 1)
+
+    def _maybe_rope(self, q: Tensor, k: Tensor, s: int) -> tuple[Tensor, Tensor]:
+        if not self.rope:
+            return q, k
+        from repro.nn.rope import apply_rope
+
+        positions = np.arange(s)
+        return (
+            apply_rope(q, positions, theta=self.rope_theta),
+            apply_rope(k, positions, theta=self.rope_theta),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        s = x.shape[0]
+        q = self._split_heads(self.wq(x), s)
+        k = self._split_heads(self.wk(x), s, self.n_kv_heads)
+        v = self._split_heads(self.wv(x), s, self.n_kv_heads)
+        q, k = self._maybe_rope(q, k, s)
+        o = flash_attention(
+            q, k, v, mask=self.mask, block_size=self.block_size,
+            cache=self.cache, policy=self.policy,
+        )
+        merged = ops.reshape(ops.swapaxes(o, 0, 1), (s, self.n_heads * self.head_dim))
+        return self.wo(merged)
+
+
+class TransformerBlock(Module):
+    """Pre-norm block: ``h = x + attn(norm(x)); y = h + ffn(norm(h))``.
+
+    ``policy`` selects the recomputation strategy; the block checkpoints
+    itself (storing only its input) whenever the policy requires it, with
+    the attention-output cache implementing the selective++/sequence-level
+    whitelists.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        n_heads: int,
+        ffn_hidden: int,
+        rng: np.random.Generator,
+        mask: MaskPattern | None = None,
+        policy: CheckpointPolicy | None = None,
+        attn_block_size: int = 64,
+        attn_factory=None,
+        n_kv_heads: int | None = None,
+        rope: bool = False,
+        rope_theta: float = 10_000.0,
+        dropout_p: float = 0.0,
+    ):
+        if not 0.0 <= dropout_p < 1.0:
+            raise ValueError(f"dropout_p must be in [0, 1), got {dropout_p}")
+        self.dropout_p = dropout_p
+        self.norm1 = RMSNorm(dim)
+        if attn_factory is None:
+            self.attn = CausalSelfAttention(
+                dim, n_heads, rng, mask=mask, block_size=attn_block_size,
+                n_kv_heads=n_kv_heads,
+            )
+        else:
+            self.attn = attn_factory(
+                dim, n_heads, rng, mask, attn_block_size, n_kv_heads
+            )
+        if rope:
+            if (dim // n_heads) % 2 != 0:
+                raise ValueError("RoPE needs an even head dimension")
+            self.attn.rope = True
+            self.attn.rope_theta = rope_theta
+        self.norm2 = RMSNorm(dim)
+        self.ffn = SwiGLU(dim, ffn_hidden, rng)
+        self.set_policy(policy or CheckpointPolicy())
+
+    def set_policy(self, policy: CheckpointPolicy) -> None:
+        self.policy = policy
+        self.attn.policy = policy
+
+    def _body(self, x: Tensor) -> Tensor:
+        attn_out = self.attn(self.norm1(x))
+        if self.dropout_p > 0:
+            attn_out = ops.dropout(attn_out, self.dropout_p,
+                                   training=self.training)
+        h = ops.add(x, attn_out)
+        ffn_out = self.ffn(self.norm2(h))
+        if self.dropout_p > 0:
+            ffn_out = ops.dropout(ffn_out, self.dropout_p,
+                                  training=self.training)
+        return ops.add(h, ffn_out)
+
+    def forward(self, x: Tensor) -> Tensor:
+        from repro.nn.rng import draw_seed, scoped_rng
+
+        # Capture the layer's stochastic seed ONCE per forward so a
+        # checkpoint recompute replays identical dropout masks.
+        seed = draw_seed() if (self.dropout_p > 0 and self.training) else None
+
+        def seeded_body(x_: Tensor) -> Tensor:
+            with scoped_rng(seed):
+                return self._body(x_)
+
+        if self.policy.checkpoints_layer:
+            return checkpoint(seeded_body, x)
+        return seeded_body(x)
+
+
+class FusedLMHeadLossFn(Function):
+    """Autograd node running one of the :mod:`repro.lmhead` implementations.
+
+    All three implementations already produce ``(loss, dH, dW)``; the node
+    saves the gradients and scales them by the upstream gradient.  The
+    implementation's *resident* footprint (full logits for naive, Lse for
+    tiled, nothing for fused) is registered with the tracker so measured
+    peaks reflect the head choice — this is the Fig. 8 / Table 2 effect.
+    """
+
+    def forward(self, h, w, targets=None, impl="fused", reduction="mean", **kw):
+        fn = HEAD_IMPLEMENTATIONS[impl]
+        res = fn(h, w, targets, reduction=reduction, **kw)
+        self.save_for_backward(res.dh, res.dw)
+        self._resident = get_tracker().register(res.stats.peak_resident_bytes)
+        return np.asarray(res.loss)
+
+    def backward(self, grad_out):
+        dh, dw = self.saved
+        get_tracker().release(self._resident)
+        g = float(grad_out)
+        return g * dh, g * dw
+
+
+@dataclass
+class TransformerConfig:
+    """Architecture + training-policy configuration for the test model."""
+
+    vocab_size: int = 256
+    dim: int = 32
+    n_layers: int = 2
+    n_heads: int = 4
+    n_kv_heads: int | None = None  # GQA: fewer KV heads than query heads
+    position_encoding: str = "learned"  # "learned" | "rope"
+    rope_theta: float = 10_000.0
+    dropout_p: float = 0.0
+    ffn_hidden: int = 64
+    max_seq_len: int = 256
+    head_impl: str = "fused"
+    checkpoint: CheckpointPolicy = field(default_factory=CheckpointPolicy)
+    mask: MaskPattern | None = None  # defaults to causal
+    #: Optional per-layer mask schedule (e.g. alternating sliding-window /
+    #: global layers, Gemma-style).  Length must equal ``n_layers``;
+    #: overrides ``mask`` when set.
+    layer_masks: list | None = None
+    attn_block_size: int = 64
+    seed: int = 0
+
+
+class TransformerLM(Module):
+    """Tiny LLaMA-style language model for end-to-end training tests.
+
+    ``forward(ids, targets)`` returns the scalar loss Tensor (the LM head
+    and loss are always fused into one node — the head implementation
+    string picks naive / tiled-recompute / fused cost behaviour while the
+    numerics are identical).
+    """
+
+    def __init__(self, config: TransformerConfig, attn_factory=None):
+        self.config = config
+        #: Optional override for the head+loss computation, called as
+        #: ``head_fn(h, weight, targets) -> Tensor`` (scalar loss).  The
+        #: engine uses this to install distributed (vocab-parallel) heads.
+        self.head_fn = None
+        if config.layer_masks is not None and len(config.layer_masks) != config.n_layers:
+            raise ValueError(
+                f"layer_masks has {len(config.layer_masks)} entries for "
+                f"{config.n_layers} layers"
+            )
+        rng = np.random.default_rng(config.seed)
+        self.tok_emb = Embedding(config.vocab_size, config.dim, rng)
+        self.pos_emb = Embedding(config.max_seq_len, config.dim, rng)
+
+        def mask_for(layer: int):
+            if config.layer_masks is not None:
+                return config.layer_masks[layer]
+            return config.mask
+
+        self.blocks = [
+            TransformerBlock(
+                config.dim, config.n_heads, config.ffn_hidden, rng,
+                mask=mask_for(i), policy=config.checkpoint,
+                attn_block_size=config.attn_block_size,
+                attn_factory=attn_factory,
+                n_kv_heads=config.n_kv_heads,
+                rope=(config.position_encoding == "rope"),
+                rope_theta=config.rope_theta,
+                dropout_p=config.dropout_p,
+            )
+            for i in range(config.n_layers)
+        ]
+        self.final_norm = RMSNorm(config.dim)
+        self.lm_head = Linear(config.dim, config.vocab_size, rng)
+
+    def set_policy(self, policy: CheckpointPolicy) -> None:
+        self.config.checkpoint = policy
+        for block in self.blocks:
+            block.set_policy(policy)
+
+    def hidden_states(self, ids: np.ndarray) -> Tensor:
+        s = len(ids)
+        if s > self.config.max_seq_len:
+            raise ValueError(
+                f"sequence length {s} exceeds max_seq_len {self.config.max_seq_len}"
+            )
+        if self.config.position_encoding == "rope":
+            x = self.tok_emb(ids)  # positions enter via RoPE in attention
+        else:
+            x = ops.add(self.tok_emb(ids), self.pos_emb(np.arange(s)))
+        for block in self.blocks:
+            x = block(x)
+        return self.final_norm(x)
+
+    def forward(self, ids: np.ndarray, targets: np.ndarray) -> Tensor:
+        h = self.hidden_states(ids)
+        if self.head_fn is not None:
+            return self.head_fn(h, self.lm_head.weight, np.asarray(targets))
+        return FusedLMHeadLossFn.apply(
+            h, self.lm_head.weight, targets=np.asarray(targets),
+            impl=self.config.head_impl,
+        )
+
+    def logits(self, ids: np.ndarray) -> Tensor:
+        """Full logits (inference / tests only — the Fig. 8 memory wall)."""
+        return self.lm_head(self.hidden_states(ids))
+
+    def generate(
+        self,
+        prompt: np.ndarray,
+        max_new_tokens: int,
+        temperature: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Autoregressive decoding (greedy at ``temperature == 0``).
+
+        Re-runs the full forward each step — fine for tests and demos;
+        this repository optimises training, not inference.
+        """
+        from repro.nn.tensor import no_grad
+
+        if max_new_tokens < 0:
+            raise ValueError("max_new_tokens must be >= 0")
+        if temperature < 0:
+            raise ValueError("temperature must be >= 0")
+        if rng is None:
+            rng = np.random.default_rng(0)
+        ids = np.asarray(prompt, dtype=np.int64).copy()
+        for _ in range(max_new_tokens):
+            if len(ids) >= self.config.max_seq_len:
+                break
+            with no_grad():
+                row = self.logits(ids).data[-1]
+            if temperature == 0.0:
+                nxt = int(row.argmax())
+            else:
+                z = row / temperature
+                p = np.exp(z - z.max())
+                p /= p.sum()
+                nxt = int(rng.choice(len(p), p=p))
+            ids = np.append(ids, nxt)
+        return ids

@@ -1,0 +1,356 @@
+"""Differentiable operations for the numpy autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.function import Function
+from repro.nn.tensor import Tensor, _wrap
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum away prepended axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were broadcast from 1.
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class Add(Function):
+    def forward(self, a, b):
+        self.shapes = (a.shape, b.shape)
+        return a + b
+
+    def backward(self, g):
+        sa, sb = self.shapes
+        return _unbroadcast(g, sa), _unbroadcast(g, sb)
+
+
+class Sub(Function):
+    def forward(self, a, b):
+        self.shapes = (a.shape, b.shape)
+        return a - b
+
+    def backward(self, g):
+        sa, sb = self.shapes
+        return _unbroadcast(g, sa), _unbroadcast(-g, sb)
+
+
+class Mul(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a, b)
+        return a * b
+
+    def backward(self, g):
+        a, b = self.saved
+        return _unbroadcast(g * b, a.shape), _unbroadcast(g * a, b.shape)
+
+
+class Div(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a, b)
+        return a / b
+
+    def backward(self, g):
+        a, b = self.saved
+        return (
+            _unbroadcast(g / b, a.shape),
+            _unbroadcast(-g * a / (b * b), b.shape),
+        )
+
+
+class MatMul(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a, b)
+        return np.matmul(a, b)
+
+    def backward(self, g):
+        a, b = self.saved
+        ga = np.matmul(g, np.swapaxes(b, -1, -2))
+        gb = np.matmul(np.swapaxes(a, -1, -2), g)
+        return _unbroadcast(ga, a.shape), _unbroadcast(gb, b.shape)
+
+
+class Pow(Function):
+    def forward(self, a, exponent: float):
+        self.exponent = exponent
+        self.save_for_backward(a)
+        return a**exponent
+
+    def backward(self, g):
+        (a,) = self.saved
+        return (g * self.exponent * a ** (self.exponent - 1),)
+
+
+class Exp(Function):
+    def forward(self, a):
+        out = np.exp(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, g):
+        (out,) = self.saved
+        return (g * out,)
+
+
+class Log(Function):
+    def forward(self, a):
+        self.save_for_backward(a)
+        return np.log(a)
+
+    def backward(self, g):
+        (a,) = self.saved
+        return (g / a,)
+
+
+class Tanh(Function):
+    def forward(self, a):
+        out = np.tanh(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, g):
+        (out,) = self.saved
+        return (g * (1.0 - out * out),)
+
+
+class SiLU(Function):
+    """x * sigmoid(x) — LLaMA's activation."""
+
+    def forward(self, a):
+        sig = 1.0 / (1.0 + np.exp(-a))
+        self.save_for_backward(a, sig)
+        return a * sig
+
+    def backward(self, g):
+        a, sig = self.saved
+        return (g * (sig * (1.0 + a * (1.0 - sig))),)
+
+
+class GELU(Function):
+    """Tanh-approximate GELU."""
+
+    _C = np.sqrt(2.0 / np.pi)
+
+    def forward(self, a):
+        inner = self._C * (a + 0.044715 * a**3)
+        t = np.tanh(inner)
+        self.save_for_backward(a, t)
+        return 0.5 * a * (1.0 + t)
+
+    def backward(self, g):
+        a, t = self.saved
+        d_inner = self._C * (1.0 + 3 * 0.044715 * a**2)
+        grad = 0.5 * (1.0 + t) + 0.5 * a * (1.0 - t * t) * d_inner
+        return (g * grad,)
+
+
+class Sum(Function):
+    def forward(self, a, axis=None, keepdims=False):
+        self.in_shape = a.shape
+        self.axis = axis
+        self.keepdims = keepdims
+        return a.sum(axis=axis, keepdims=keepdims)
+
+    def backward(self, g):
+        g = np.asarray(g)
+        if self.axis is not None and not self.keepdims:
+            axes = self.axis if isinstance(self.axis, tuple) else (self.axis,)
+            for ax in sorted(a % len(self.in_shape) for a in axes):
+                g = np.expand_dims(g, ax)
+        return (np.broadcast_to(g, self.in_shape).copy(),)
+
+
+class Mean(Function):
+    def forward(self, a, axis=None, keepdims=False):
+        self.in_shape = a.shape
+        self.axis = axis
+        self.keepdims = keepdims
+        out = a.mean(axis=axis, keepdims=keepdims)
+        self.count = a.size / out.size
+        return out
+
+    def backward(self, g):
+        g = np.asarray(g) / self.count
+        if self.axis is not None and not self.keepdims:
+            axes = self.axis if isinstance(self.axis, tuple) else (self.axis,)
+            for ax in sorted(a % len(self.in_shape) for a in axes):
+                g = np.expand_dims(g, ax)
+        return (np.broadcast_to(g, self.in_shape).copy(),)
+
+
+class Reshape(Function):
+    def forward(self, a, shape):
+        self.in_shape = a.shape
+        return a.reshape(shape)
+
+    def backward(self, g):
+        return (g.reshape(self.in_shape),)
+
+
+class Swapaxes(Function):
+    def forward(self, a, ax1: int, ax2: int):
+        self.axes = (ax1, ax2)
+        return np.swapaxes(a, ax1, ax2)
+
+    def backward(self, g):
+        return (np.swapaxes(g, *self.axes),)
+
+
+class GetItem(Function):
+    def forward(self, a, key):
+        self.in_shape = a.shape
+        self.key = key
+        return a[key]
+
+    def backward(self, g):
+        out = np.zeros(self.in_shape)
+        np.add.at(out, self.key, g)
+        return (out,)
+
+
+class Concat(Function):
+    def forward(self, *arrays, axis=0):
+        self.axis = axis
+        self.sizes = [a.shape[axis] for a in arrays]
+        return np.concatenate(arrays, axis=axis)
+
+    def backward(self, g):
+        splits = np.cumsum(self.sizes)[:-1]
+        return tuple(np.split(g, splits, axis=self.axis))
+
+
+class DropoutFn(Function):
+    """Inverted dropout: scale survivors by ``1/(1-p)`` at train time."""
+
+    def forward(self, a, p: float = 0.1, rng=None):
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout p must be in [0, 1), got {p}")
+        if rng is None:
+            rng = np.random.default_rng()
+        keep = 1.0 - p
+        self.mask = (rng.random(a.shape) < keep) / keep
+        return a * self.mask
+
+    def backward(self, g):
+        return (g * self.mask,)
+
+
+class EmbeddingLookup(Function):
+    """Row gather from an embedding table (integer ids are non-diff)."""
+
+    def forward(self, table, ids):
+        self.ids = np.asarray(ids)
+        self.table_shape = table.shape
+        return table[self.ids]
+
+    def backward(self, g):
+        grad = np.zeros(self.table_shape)
+        np.add.at(grad, self.ids, g)
+        return (grad,)
+
+
+# --- functional wrappers ------------------------------------------------------
+
+
+def add(a, b):
+    return Add.apply(_wrap(a), _wrap(b))
+
+
+def sub(a, b):
+    return Sub.apply(_wrap(a), _wrap(b))
+
+
+def mul(a, b):
+    return Mul.apply(_wrap(a), _wrap(b))
+
+
+def div(a, b):
+    return Div.apply(_wrap(a), _wrap(b))
+
+
+def matmul(a, b):
+    return MatMul.apply(_wrap(a), _wrap(b))
+
+
+def pow(a, exponent: float):  # noqa: A001 - mirrors Tensor.__pow__
+    return Pow.apply(_wrap(a), exponent)
+
+
+def exp(a):
+    return Exp.apply(_wrap(a))
+
+
+def log(a):
+    return Log.apply(_wrap(a))
+
+
+def tanh(a):
+    return Tanh.apply(_wrap(a))
+
+
+def silu(a):
+    return SiLU.apply(_wrap(a))
+
+
+def gelu(a):
+    return GELU.apply(_wrap(a))
+
+
+def sum(a, axis=None, keepdims=False):  # noqa: A001 - mirrors Tensor.sum
+    return Sum.apply(_wrap(a), axis=axis, keepdims=keepdims)
+
+
+def mean(a, axis=None, keepdims=False):
+    return Mean.apply(_wrap(a), axis=axis, keepdims=keepdims)
+
+
+def reshape(a, shape):
+    return Reshape.apply(_wrap(a), tuple(shape))
+
+
+def swapaxes(a, ax1: int, ax2: int):
+    return Swapaxes.apply(_wrap(a), ax1, ax2)
+
+
+def getitem(a, key):
+    return GetItem.apply(_wrap(a), key)
+
+
+def concat(tensors, axis=0):
+    return Concat.apply(*[_wrap(t) for t in tensors], axis=axis)
+
+
+def embedding(table, ids):
+    return EmbeddingLookup.apply(_wrap(table), np.asarray(ids))
+
+
+def dropout(a, p: float = 0.1, training: bool = True, rng=None):
+    """Inverted dropout; identity when ``training`` is False or ``p == 0``.
+
+    Without an explicit ``rng`` the mask comes from
+    :func:`repro.nn.rng.current_rng`, so dropout inside a checkpointed
+    layer replays identically during recomputation.
+    """
+    if not training or p == 0.0:
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout p must be in [0, 1), got {p}")
+        return _wrap(a) if not isinstance(a, Tensor) else a
+    if rng is None:
+        from repro.nn.rng import current_rng
+
+        rng = current_rng()
+    return DropoutFn.apply(_wrap(a), p=p, rng=rng)
+
+
+def rms_norm(x: Tensor, weight: Tensor, eps: float = 1e-6) -> Tensor:
+    """LLaMA RMSNorm: ``x / sqrt(mean(x^2) + eps) * weight`` (composite)."""
+    variance = mean(mul(x, x), axis=-1, keepdims=True)
+    inv = pow(add(variance, eps), -0.5)
+    return mul(mul(x, inv), weight)

@@ -1,0 +1,111 @@
+"""Optimizers for the numpy autograd engine (SGD, Adam, AdamW).
+
+State can be "offloaded": with ``offload=True`` the moment buffers are
+tagged as host-resident, which the peak-memory model uses to mirror the
+paper's ZeRO-Offload setting (Table 5 enables it, Table 4 disables it).
+Numerically offloading changes nothing — it is a placement annotation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Optimizer:
+    def __init__(self, params: list[Tensor], lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def state_bytes(self) -> int:
+        """Bytes of optimizer state (for the memory model)."""
+        return 0
+
+
+class SGD(Optimizer):
+    """Plain SGD with optional momentum."""
+
+    def __init__(self, params, lr: float = 1e-2, momentum: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params] if momentum else None
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            if self._velocity is not None:
+                self._velocity[i] = self.momentum * self._velocity[i] + p.grad
+                update = self._velocity[i]
+            else:
+                update = p.grad
+            p.data -= self.lr * update
+
+    def state_bytes(self) -> int:
+        if self._velocity is None:
+            return 0
+        return sum(v.nbytes for v in self._velocity)
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        params,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        offload: bool = False,
+    ):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.offload = offload
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self.t
+        bias2 = 1.0 - b2**self.t
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            self._m[i] = b1 * self._m[i] + (1 - b1) * g
+            self._v[i] = b2 * self._v[i] + (1 - b2) * (g * g)
+            m_hat = self._m[i] / bias1
+            v_hat = self._v[i] / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_bytes(self) -> int:
+        return sum(m.nbytes + v.nbytes for m, v in zip(self._m, self._v))
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay."""
+
+    def __init__(self, params, lr: float = 1e-3, weight_decay: float = 0.01, **kw):
+        super().__init__(params, lr=lr, **kw)
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        for p in self.params:
+            if p.grad is not None:
+                p.data -= self.lr * self.weight_decay * p.data
+        super().step()

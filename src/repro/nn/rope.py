@@ -1,0 +1,65 @@
+"""Rotary position embeddings (RoPE), the LLaMA position encoding.
+
+Each head dimension pair is rotated by an angle proportional to the
+token's *global* position; attention scores then depend only on relative
+position (``<R_m q, R_n k> = f(m - n)``), which is why RoPE composes with
+sequence sharding for free: shards carry their global positions, queries
+and keys are rotated before partitioning, and the distributed ring needs
+no changes.
+
+Convention: the "half-split" layout (rotate ``x[..., :d/2]`` against
+``x[..., d/2:]``), matching LLaMA's reference implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.function import Function
+from repro.nn.tensor import Tensor
+
+
+def rope_angles(
+    positions: np.ndarray, head_dim: int, theta: float = 10_000.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-(position, frequency) cos/sin tables, shape ``(S, head_dim/2)``."""
+    if head_dim % 2 != 0:
+        raise ValueError(f"head_dim must be even for RoPE, got {head_dim}")
+    half = head_dim // 2
+    inv_freq = theta ** (-np.arange(half) / half)
+    ang = np.asarray(positions, dtype=np.float64)[:, None] * inv_freq[None, :]
+    return np.cos(ang), np.sin(ang)
+
+
+def rotate_half_split(
+    x: np.ndarray, cos: np.ndarray, sin: np.ndarray, inverse: bool = False
+) -> np.ndarray:
+    """Apply the (inverse) rotation to ``(..., S, head_dim)`` arrays."""
+    half = x.shape[-1] // 2
+    x1, x2 = x[..., :half], x[..., half:]
+    if inverse:
+        sin = -sin
+    return np.concatenate([x1 * cos - x2 * sin, x2 * cos + x1 * sin], axis=-1)
+
+
+class RoPEFn(Function):
+    """Differentiable rotation.  Rotations are orthogonal, so the backward
+    pass applies the inverse rotation to the incoming gradient."""
+
+    def forward(self, x, positions=None, theta: float = 10_000.0):
+        if positions is None:
+            positions = np.arange(x.shape[-2])
+        cos, sin = rope_angles(positions, x.shape[-1], theta)
+        self.tables = (cos, sin)
+        return rotate_half_split(x, cos, sin)
+
+    def backward(self, grad_out):
+        cos, sin = self.tables
+        return (rotate_half_split(grad_out, cos, sin, inverse=True),)
+
+
+def apply_rope(
+    x: Tensor, positions: np.ndarray | None = None, theta: float = 10_000.0
+) -> Tensor:
+    """Rotate ``(H, S, head_dim)`` queries or keys by their positions."""
+    return RoPEFn.apply(x, positions=positions, theta=theta)

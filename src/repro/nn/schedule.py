@@ -1,0 +1,103 @@
+"""Learning-rate schedules and gradient clipping.
+
+Standard LLM-training loop components: linear warmup into cosine decay
+(the LLaMA recipe), inverse-sqrt (the original Transformer), constant,
+and global-norm gradient clipping.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class LRSchedule:
+    """Base: maps a 0-indexed step to a learning rate."""
+
+    def __init__(self, base_lr: float):
+        if base_lr <= 0:
+            raise ValueError(f"base_lr must be positive, got {base_lr}")
+        self.base_lr = base_lr
+
+    def lr_at(self, step: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def apply(self, optimizer, step: int) -> float:
+        """Set the optimizer's lr for ``step``; returns the value."""
+        lr = self.lr_at(step)
+        optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(LRSchedule):
+    def lr_at(self, step: int) -> float:
+        return self.base_lr
+
+
+class WarmupCosineLR(LRSchedule):
+    """Linear warmup to ``base_lr`` then cosine decay to ``min_lr``."""
+
+    def __init__(self, base_lr: float, warmup_steps: int, total_steps: int,
+                 min_lr: float = 0.0):
+        super().__init__(base_lr)
+        if warmup_steps < 0 or total_steps <= warmup_steps:
+            raise ValueError(
+                f"need 0 <= warmup_steps < total_steps, got "
+                f"{warmup_steps}, {total_steps}"
+            )
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def lr_at(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return self.base_lr * (step + 1) / max(self.warmup_steps, 1)
+        progress = (step - self.warmup_steps) / (
+            self.total_steps - self.warmup_steps
+        )
+        progress = min(progress, 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class InverseSqrtLR(LRSchedule):
+    """``lr = base * min((s+1)^-0.5, (s+1) * warmup^-1.5)`` (Vaswani)."""
+
+    def __init__(self, base_lr: float, warmup_steps: int = 100):
+        super().__init__(base_lr)
+        if warmup_steps < 1:
+            raise ValueError(f"warmup_steps must be >= 1, got {warmup_steps}")
+        self.warmup_steps = warmup_steps
+
+    def lr_at(self, step: int) -> float:
+        s = step + 1
+        return self.base_lr * min(s**-0.5, s * self.warmup_steps**-1.5)
+
+
+def grad_global_norm(params: Sequence[Tensor]) -> float:
+    """L2 norm over all parameter gradients (missing grads count as 0)."""
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float((p.grad * p.grad).sum())
+    return math.sqrt(total)
+
+
+def clip_grad_norm(params: Sequence[Tensor], max_norm: float) -> float:
+    """Scale all gradients so their global norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (the value training logs usually report).
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    norm = grad_global_norm(params)
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for p in params:
+            if p.grad is not None:
+                p.grad = p.grad * scale
+    return norm

@@ -1,0 +1,51 @@
+"""Model checkpoint save/load (npz).
+
+Parameters are stored by their ``named_parameters`` path, so any module
+tree round-trips; a strict load verifies that names and shapes match
+exactly (catching architecture drift between save and load).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.modules import Module
+
+
+def save_model(model: Module, path: str) -> int:
+    """Write all parameters to ``path`` (npz); returns parameter count."""
+    arrays = {name: p.data for name, p in model.named_parameters()}
+    np.savez(path, **arrays)
+    return sum(a.size for a in arrays.values())
+
+
+def load_model(model: Module, path: str, strict: bool = True) -> list[str]:
+    """Load parameters in place.
+
+    With ``strict`` (default), missing/unexpected/shape-mismatched entries
+    raise; otherwise they are skipped and returned.
+    """
+    with np.load(path) as data:
+        stored = {name: data[name] for name in data.files}
+    skipped: list[str] = []
+    current = dict(model.named_parameters())
+    for name, p in current.items():
+        if name not in stored:
+            if strict:
+                raise KeyError(f"checkpoint is missing parameter {name!r}")
+            skipped.append(name)
+            continue
+        if stored[name].shape != p.data.shape:
+            if strict:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: checkpoint "
+                    f"{stored[name].shape} vs model {p.data.shape}"
+                )
+            skipped.append(name)
+            continue
+        p.data = stored[name].copy()
+    unexpected = sorted(set(stored) - set(current))
+    if unexpected and strict:
+        raise KeyError(f"checkpoint has unexpected parameters: {unexpected}")
+    skipped.extend(unexpected)
+    return skipped

@@ -1,0 +1,233 @@
+"""Reverse-mode autodiff tensor.
+
+Deliberately minimal: float64 numpy storage, dynamic graph built by
+:class:`~repro.nn.function.Function` nodes, topological-order backward with
+gradient accumulation.  Exactly the features a transformer training loop
+needs — no dtype zoo, no views-with-aliasing, no in-place autograd.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+import numpy as np
+
+_grad_enabled: bool = True
+
+
+def is_grad_enabled() -> bool:
+    return _grad_enabled
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Disable graph construction (used by recomputation and optimizers)."""
+    global _grad_enabled
+    prev = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = prev
+
+
+class Tensor:
+    """A numpy array with an optional autograd tape entry.
+
+    Attributes
+    ----------
+    data:
+        The underlying float64 ``np.ndarray``.
+    grad:
+        Accumulated gradient (same shape), populated by :meth:`backward`.
+    requires_grad:
+        Whether this tensor participates in differentiation.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_ctx", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str = ""):
+        if isinstance(data, Tensor):
+            raise TypeError("cannot wrap a Tensor in a Tensor")
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._ctx = None  # (Function instance, input tensors) set by apply
+        self.name = name
+
+    # --- basic introspection --------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data, requires_grad=False, name=self.name)
+
+    def __repr__(self) -> str:
+        grad_flag = ", grad" if self.requires_grad else ""
+        label = f" '{self.name}'" if self.name else ""
+        return f"Tensor{label}(shape={self.shape}{grad_flag})"
+
+    # --- autograd --------------------------------------------------------------
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to 1 for scalars.  Gradients accumulate into
+        ``.grad`` of every reachable ``requires_grad`` leaf; saved
+        activations are released from the memory tracker as their nodes
+        run.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor without grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError(
+                    f"grad must be provided for non-scalar output {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} != tensor shape {self.data.shape}"
+            )
+
+        # Topological order over the dynamic graph.
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            if node._ctx is not None:
+                _, inputs = node._ctx
+                for inp in inputs:
+                    if inp is not None and inp._ctx is not None or (
+                        inp is not None and inp.requires_grad
+                    ):
+                        stack.append((inp, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._ctx is None:
+                if node.requires_grad:
+                    node.grad = (
+                        node_grad if node.grad is None else node.grad + node_grad
+                    )
+                continue
+            fn, inputs = node._ctx
+            input_grads = fn.backward(node_grad)
+            fn.release_saved()
+            if not isinstance(input_grads, tuple):
+                input_grads = (input_grads,)
+            if len(input_grads) != len(inputs):
+                raise RuntimeError(
+                    f"{type(fn).__name__}.backward returned "
+                    f"{len(input_grads)} grads for {len(inputs)} inputs"
+                )
+            for inp, g in zip(inputs, input_grads):
+                if inp is None or g is None:
+                    continue
+                if g.shape != inp.data.shape:
+                    raise RuntimeError(
+                        f"{type(fn).__name__} produced grad {g.shape} for "
+                        f"input {inp.data.shape}"
+                    )
+                if inp._ctx is not None or inp.requires_grad:
+                    key = id(inp)
+                    if key in grads:
+                        grads[key] = grads[key] + g
+                    else:
+                        grads[key] = g
+            # Leaves with requires_grad but also intermediate results that
+            # require grad get their .grad set when popped above.
+            if node.requires_grad and node is not self:
+                pass
+
+    # --- operator sugar (delegates to repro.nn.ops) -----------------------------
+
+    def _ops(self):
+        from repro.nn import ops
+
+        return ops
+
+    def __add__(self, other):
+        return self._ops().add(self, _wrap(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._ops().sub(self, _wrap(other))
+
+    def __rsub__(self, other):
+        return self._ops().sub(_wrap(other), self)
+
+    def __mul__(self, other):
+        return self._ops().mul(self, _wrap(other))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return self._ops().div(self, _wrap(other))
+
+    def __neg__(self):
+        return self._ops().mul(self, _wrap(-1.0))
+
+    def __matmul__(self, other):
+        return self._ops().matmul(self, _wrap(other))
+
+    def __pow__(self, exponent: float):
+        return self._ops().pow(self, float(exponent))
+
+    def __getitem__(self, key):
+        return self._ops().getitem(self, key)
+
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return self._ops().reshape(self, shape)
+
+    def swapaxes(self, a: int, b: int):
+        return self._ops().swapaxes(self, a, b)
+
+    def sum(self, axis=None, keepdims=False):
+        return self._ops().sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims=False):
+        return self._ops().mean(self, axis=axis, keepdims=keepdims)
+
+
+def _wrap(x) -> Tensor:
+    return x if isinstance(x, Tensor) else Tensor(np.asarray(x, dtype=np.float64))

@@ -1,0 +1,32 @@
+"""Sequence partitioners and workload-balance analysis.
+
+A partitioner assigns each of the ``N`` token positions to one of ``G``
+devices.  The choice is invisible to correctness (shards carry their global
+index arrays, and masks are index predicates) but decides the *balance* of
+attention work under causal and sparse masks — the subject of Section 3.4:
+
+* :class:`ContiguousPartitioner` — naive blocks; under a causal mask device
+  ``G-1`` does ``~2x`` the average work and device 0 almost none.
+* :class:`ZigzagPartitioner` — each device gets one chunk from the front
+  and the mirrored chunk from the back (Eq. 11/12).
+* :class:`StripedPartitioner` — round-robin token placement (Eq. 13/14).
+* :class:`BlockwisePartitioner` — striped placement *within* each sparse
+  block (Fig. 11), balancing arbitrary block-sparse masks.
+"""
+
+from repro.partition.base import Partitioner
+from repro.partition.contiguous import ContiguousPartitioner
+from repro.partition.zigzag import ZigzagPartitioner
+from repro.partition.striped import StripedPartitioner
+from repro.partition.blockwise import BlockwisePartitioner
+from repro.partition.workload import workload_per_device, imbalance_ratio
+
+__all__ = [
+    "Partitioner",
+    "ContiguousPartitioner",
+    "ZigzagPartitioner",
+    "StripedPartitioner",
+    "BlockwisePartitioner",
+    "workload_per_device",
+    "imbalance_ratio",
+]

@@ -1,0 +1,19 @@
+"""Naive contiguous partition: device ``i`` gets tokens
+``[i*N/G, (i+1)*N/G)``.  Simple, but maximally imbalanced for causal masks —
+the later a device's chunk sits in the sequence, the more keys its queries
+attend to."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.base import Partitioner
+
+
+class ContiguousPartitioner(Partitioner):
+    name = "contiguous"
+
+    def indices(self, n: int, g: int) -> list[np.ndarray]:
+        self._validate(n, g)
+        p = n // g
+        return [np.arange(i * p, (i + 1) * p, dtype=np.int64) for i in range(g)]

@@ -1,0 +1,108 @@
+"""Workload-balance analysis: attention work per device for a
+(mask, partition) combination.
+
+The unit of work is an allowed (query, key) pair — each costs ``O(d)``
+FLOPs in both the score and the value matmul, so pair counts are exactly
+proportional to attention FLOPs.  In ring-style context parallelism the
+pass proceeds in ``G`` synchronous steps; the *step* workload of device
+``i`` at step ``t`` is the allowed-pair count between its query shard and
+the KV shard it holds at that step.  Because every step is a barrier, the
+effective time of a step is the per-step **maximum** across devices —
+:func:`effective_step_work` — which is what the Table 3 throughput model
+consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.masks.patterns import MaskPattern
+from repro.partition.base import Partitioner
+
+
+def workload_per_device(
+    mask: MaskPattern,
+    partitioner: Partitioner,
+    n: int,
+    g: int,
+) -> np.ndarray:
+    """Total allowed pairs each device computes across all ring steps."""
+    idxs = partitioner.indices(n, g)
+    work = np.zeros(g, dtype=np.int64)
+    for i in range(g):
+        for j in range(g):
+            work[i] += mask.num_allowed(idxs[i], idxs[j])
+    return work
+
+
+def step_workloads(
+    mask: MaskPattern,
+    partitioner: Partitioner,
+    n: int,
+    g: int,
+    origins: list[list[int]] | None = None,
+) -> np.ndarray:
+    """Per-(step, device) allowed-pair counts, shape ``(G, G)``.
+
+    ``origins[t][rank]`` gives the KV shard held by ``rank`` at step ``t``
+    (from :meth:`repro.comm.RingSchedule.origins`); defaults to the flat
+    ring ``origin = (rank - t) % G``.
+    """
+    idxs = partitioner.indices(n, g)
+    out = np.zeros((g, g), dtype=np.int64)
+    for t in range(g):
+        for rank in range(g):
+            j = origins[t][rank] if origins is not None else (rank - t) % g
+            out[t, rank] = mask.num_allowed(idxs[rank], idxs[j])
+    return out
+
+
+def effective_step_work(
+    mask: MaskPattern,
+    partitioner: Partitioner,
+    n: int,
+    g: int,
+    origins: list[list[int]] | None = None,
+) -> int:
+    """Sum over steps of the slowest device's work — the quantity that
+    bounds ring-attention time under per-step synchronisation."""
+    per_step = step_workloads(mask, partitioner, n, g, origins)
+    return int(per_step.max(axis=1).sum())
+
+
+def imbalance_ratio(
+    mask: MaskPattern,
+    partitioner: Partitioner,
+    n: int,
+    g: int,
+) -> float:
+    """``max / mean`` of per-device total work (1.0 = perfectly balanced)."""
+    work = workload_per_device(mask, partitioner, n, g)
+    mean = work.mean()
+    if mean == 0:
+        return 1.0
+    return float(work.max() / mean)
+
+
+def balance_report(
+    mask: MaskPattern,
+    partitioners: list[Partitioner],
+    n: int,
+    g: int,
+) -> dict[str, dict[str, float]]:
+    """Compare partitioners on one mask: total, per-device spread,
+    effective (barrier-bounded) work, and speedup vs the worst scheme."""
+    rows: dict[str, dict[str, float]] = {}
+    for part in partitioners:
+        work = workload_per_device(mask, part, n, g)
+        rows[part.name] = {
+            "total_pairs": int(work.sum()),
+            "max_device_pairs": int(work.max()),
+            "min_device_pairs": int(work.min()),
+            "imbalance": float(work.max() / work.mean()) if work.mean() else 1.0,
+            "effective_step_pairs": effective_step_work(mask, part, n, g),
+        }
+    worst = max(r["effective_step_pairs"] for r in rows.values())
+    for r in rows.values():
+        r["speedup_vs_worst"] = worst / r["effective_step_pairs"] if r["effective_step_pairs"] else float("inf")
+    return rows

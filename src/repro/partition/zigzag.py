@@ -1,0 +1,44 @@
+"""Zigzag partition (Eq. 11 of the paper).
+
+The sequence is cut into ``2G`` chunks of length ``P = N / (2G)``; device
+``i`` (0-based) receives chunk ``i`` from the front and chunk ``2G-1-i``
+from the back:
+
+    S_i^1 = [i*P, (i+1)*P)            (front chunk)
+    S_i^2 = [N - (i+1)*P, N - i*P)    (mirrored back chunk)
+
+Under a causal mask, the front chunk of an early device is cheap but its
+back chunk is expensive, and vice versa for late devices — the sum is the
+same for every device, which is the balance property Megatron-CP and
+LoongTrain rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.base import Partitioner
+
+
+class ZigzagPartitioner(Partitioner):
+    name = "zigzag"
+
+    def indices(self, n: int, g: int) -> list[np.ndarray]:
+        self._validate(n, g)
+        if n % (2 * g) != 0:
+            raise ValueError(
+                f"zigzag needs sequence length divisible by 2*G = {2 * g}, got {n}"
+            )
+        p = n // (2 * g)
+        out = []
+        for i in range(g):
+            front = np.arange(i * p, (i + 1) * p, dtype=np.int64)
+            back = np.arange(n - (i + 1) * p, n - i * p, dtype=np.int64)
+            out.append(np.concatenate([front, back]))
+        return out
+
+    @staticmethod
+    def front_back(idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split a device's index array back into (front, back) halves."""
+        half = len(idx) // 2
+        return idx[:half], idx[half:]

@@ -1,0 +1,52 @@
+"""Performance models: discrete-event simulation, cost formulas, memory.
+
+Wall-clock results in the paper depend on three ingredients, each modelled
+in its own module:
+
+* :mod:`repro.perf.des` — a generic discrete-event simulator with
+  unit-capacity resources (a GPU's compute stream, its NVLink channel, its
+  NIC).  Method-specific task graphs express *what can overlap what*.
+* :mod:`repro.perf.cost` — analytic costs: link transfer times (Table 1's
+  formulas), matmul times from FLOPs at calibrated efficiency.
+* :mod:`repro.perf.memory` — per-GPU peak memory: FSDP-sharded states,
+  activations under each checkpoint policy, LM-head logits by head mode.
+
+:mod:`repro.perf.schedules` builds the per-method attention task graphs and
+the end-to-end training-step model that Figures 12–14 and Tables 2, 4, 5
+are generated from.
+"""
+
+from repro.perf.des import Resource, Simulator, Task
+from repro.perf.cost import (
+    CommCost,
+    table1_comm_times,
+    attention_step_sizes,
+    matmul_time,
+)
+from repro.perf.memory import MemoryModel, MemoryBreakdown, TrainingSetup
+from repro.perf.schedules.attention import attention_pass_time, ATTENTION_SCHEDULES
+from repro.perf.schedules.end_to_end import (
+    EndToEndModel,
+    EndToEndResult,
+    end_to_end_step,
+)
+from repro.perf.trace import trace_to_chrome_json
+
+__all__ = [
+    "Resource",
+    "Simulator",
+    "Task",
+    "CommCost",
+    "table1_comm_times",
+    "attention_step_sizes",
+    "matmul_time",
+    "MemoryModel",
+    "MemoryBreakdown",
+    "TrainingSetup",
+    "attention_pass_time",
+    "ATTENTION_SCHEDULES",
+    "EndToEndModel",
+    "EndToEndResult",
+    "end_to_end_step",
+    "trace_to_chrome_json",
+]

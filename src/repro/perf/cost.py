@@ -1,0 +1,159 @@
+"""Analytic cost primitives: link times, Table 1 formulas, matmul times.
+
+Table 1 of the paper compares total *communication time* of the three
+ring-family methods with ``T_intra = Lat_intra + P / B_intra`` and
+``T_inter = Lat_inter + P / B_inter`` where ``P`` is the per-step payload:
+
+=================  =============================================================
+RingAttention      ``6 * max(S_steps * T_intra, S_steps * T_inter)``
+DoubleRing         ``4 * max(I * T_intra, E * T_inter) + 2 * (I * T_intra + E * T_inter)``
+BurstAttention     ``5 * max(I * T_intra, E * T_inter)``
+=================  =============================================================
+
+with ``I = G - n_nodes`` intra transitions and ``E = n_nodes`` inter
+transitions (the paper's ``N - N_inter`` and ``N_inter``).  The
+coefficients are payload rounds: forward moves 2 shard-sized buffers per
+step (K, V), Algorithm 1's backward 4 (K, V, dK, dV), Algorithm 2's 3
+(Q, dQ, dO; the D/Lse rows are a ``2/d`` relative term folded in by
+:func:`attention_step_sizes`).  The ``max`` terms are fully-overlapped
+intra/inter phases; DoubleRing's ``+2(...)`` term is its *unoverlapped*
+gradient communication — the deficiency BurstAttention's delayed-ring
+scheme removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology import ClusterTopology, LinkClass
+
+
+@dataclass(frozen=True)
+class CommCost:
+    """Communication time split into overlappable phases."""
+
+    intra_time: float
+    inter_time: float
+
+    @property
+    def overlapped(self) -> float:
+        """Time when intra and inter phases run concurrently."""
+        return max(self.intra_time, self.inter_time)
+
+    @property
+    def serialized(self) -> float:
+        """Time when they cannot overlap."""
+        return self.intra_time + self.inter_time
+
+
+def link_time(topology: ClusterTopology, nbytes: float, cls: LinkClass) -> float:
+    """One hop's time on the given link class."""
+    return topology.transfer_time(nbytes, cls)
+
+
+def ring_phase_cost(
+    topology: ClusterTopology, payload_bytes: float
+) -> CommCost:
+    """Cost of one full circulation (G-1 transitions plus the return hop,
+    i.e. G hops) split into intra and inter phases for the topology-aware
+    double ring.
+
+    Of the ``G`` hops, ``G - n_nodes`` are intra-node and ``n_nodes`` are
+    inter-node (each inter transition drives all NICs concurrently, so it
+    costs a single ``T_inter`` per transition).
+    """
+    g = topology.world_size
+    n_nodes = topology.num_nodes
+    intra_hops = g - n_nodes
+    inter_hops = n_nodes if n_nodes > 1 else 0
+    if n_nodes == 1:
+        intra_hops = g
+    t_intra = link_time(topology, payload_bytes, LinkClass.INTRA)
+    t_inter = link_time(topology, payload_bytes, LinkClass.INTER)
+    return CommCost(
+        intra_time=intra_hops * t_intra,
+        inter_time=inter_hops * t_inter,
+    )
+
+
+def flat_ring_step_time(topology: ClusterTopology, payload_bytes: float) -> float:
+    """Per-transition time of the flat global ring.
+
+    All ranks advance in lockstep, so every transition is gated by the
+    slowest hop — the inter-node link whenever there is more than one node.
+    """
+    if topology.num_nodes > 1:
+        return link_time(topology, payload_bytes, LinkClass.INTER)
+    return link_time(topology, payload_bytes, LinkClass.INTRA)
+
+
+def attention_step_sizes(
+    seq_len: int, hidden: int, world_size: int, bytes_per_elem: int = 2
+) -> dict[str, float]:
+    """Per-step ring payload bytes for each pass and algorithm.
+
+    ``hidden`` is the model dimension (heads folded in).  Returns bytes of
+    one circulating bundle per transition:
+
+    * ``fwd``: K + V = ``2 * (S/G) * h``
+    * ``bwd_alg1``: K + V + dK + dV = ``4 * (S/G) * h``
+    * ``bwd_alg2``: Q + dQ + dO + D + Lse = ``(3h + 2) * (S/G)``
+    """
+    shard = seq_len / world_size
+    return {
+        "fwd": 2 * shard * hidden * bytes_per_elem,
+        "bwd_alg1": 4 * shard * hidden * bytes_per_elem,
+        "bwd_alg2": (3 * hidden + 2) * shard * bytes_per_elem,
+    }
+
+
+def table1_comm_times(
+    topology: ClusterTopology,
+    seq_len: int,
+    hidden: int,
+    bytes_per_elem: int = 2,
+) -> dict[str, float]:
+    """Evaluate Table 1's three formulas for a concrete cluster and size.
+
+    Returns total attention communication time (forward + backward) for
+    ``ring`` (flat, lockstep), ``double_ring`` (topology-aware, gradient
+    comm unoverlapped), and ``burst`` (topology-aware, fully overlapped,
+    Algorithm 2 payload).
+    """
+    sizes = attention_step_sizes(seq_len, hidden, topology.world_size, bytes_per_elem)
+    g = topology.world_size
+    p_shard = sizes["fwd"] / 2  # one shard-sized buffer
+
+    # Flat ring: every transition gated by the slow link; 2 payloads fwd +
+    # 4 bwd = 6 shard-buffers per step, G steps.
+    t_step = flat_ring_step_time(topology, p_shard)
+    ring = 6 * g * t_step
+
+    # Topology-aware rings: per-circulation phase costs for one shard buffer.
+    phase = ring_phase_cost(topology, p_shard)
+    # DoubleRing: fwd (2) + backward KV (2) overlap intra/inter; gradient
+    # buffers (2) are serialized (the paper's "+2(I*T_intra + E*T_inter)").
+    double_ring = 4 * phase.overlapped + 2 * phase.serialized
+
+    # Burst: fwd (2) + Alg.2 backward (3 + 2/h) fully overlapped.
+    burst_payload_rounds = 2 + (3 + 2 / hidden)
+    burst = burst_payload_rounds * phase.overlapped
+
+    return {"ring": ring, "double_ring": double_ring, "burst": burst}
+
+
+def matmul_time(
+    flops: float, peak_flops: float, efficiency: float = 0.62
+) -> float:
+    """Dense-matmul execution time at calibrated efficiency.
+
+    ``efficiency`` defaults to 62 % of peak — typical for large bf16 GEMMs
+    on Ampere and the single calibration constant of the performance model
+    (chosen so the 14B/1M/32-GPU headline lands near the paper's ~52 % MFU
+    once overlap losses are simulated).
+    """
+    if peak_flops <= 0:
+        raise ValueError("peak_flops must be positive")
+    if not 0 < efficiency <= 1:
+        raise ValueError(f"efficiency must be in (0, 1], got {efficiency}")
+    return flops / (peak_flops * efficiency)

@@ -1,0 +1,237 @@
+"""Per-GPU peak-memory model (Figures 7, 8, 13; Tables 2, 4, 5).
+
+Accounts the five stores that dominate long-context training memory:
+
+1. **Parameter / gradient shards** — bf16, divided by the FSDP world size
+   (Megatron-CP in the paper has no FSDP, so its replicated weights and
+   fp32 optimizer states alone exceed 80 GB: the Fig. 13 OOM).
+2. **Optimizer states** — Adam moments + fp32 master copy, 12 B/param,
+   FSDP-sharded, zero on-GPU when ZeRO-Offload is enabled (Table 5).
+3. **Activations** — per layer, per local token, under the checkpoint
+   policy: everything (~17 x S_loc x h elems), only the layer input (1x),
+   input + whitelisted attention output (2x, selective++), or input +
+   a suffix of the attention output (sequence-level).
+4. **LM head** — the ``S_loc x v`` logits (+ their gradient) for a naive
+   head, ~nothing for tiled/fused (Fig. 8).
+5. **Transient working set** — one layer's full activations live during
+   recompute/backward, plus communication buffers.
+
+DeepSpeed-Ulysses' head-divisibility limit is modelled explicitly: its
+effective sequence-parallel degree is the largest divisor of the head
+count not exceeding the world size, so a 14B model (40 heads) on 32 GPUs
+shards the sequence only 8-way — the Fig. 13 OOM at 1M tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.models import ModelSpec
+
+
+#: Stored activation elements per layer per token without checkpointing,
+#: in units of the hidden size: block input, q/k/v, attention out, Wo in,
+#: two norm outputs, FFN gate/up/silu-product/down-in (ffn/h ~ 2.7 each).
+FULL_ACTIVATION_FACTOR = 17.0
+
+BYTES_BF16 = 2
+#: Adam moments (2 x fp32) + fp32 master weights.
+BYTES_OPTIMIZER_PER_PARAM = 12
+GB = 1e9
+
+
+def ulysses_effective_degree(n_heads: int, world: int) -> int:
+    """Largest head-parallel degree Ulysses can actually use.
+
+    The degree must divide both the head count (each rank holds whole
+    heads) and the world size (it defines a process-group factorisation) —
+    e.g. 40 heads on 32 GPUs caps the degree at 8, so each GPU holds a
+    4x longer sequence slice than full context parallelism would: the
+    source of the paper's 14B Ulysses OOM (Fig. 13).
+    """
+    best = 1
+    for d in range(1, world + 1):
+        if n_heads % d == 0 and world % d == 0:
+            best = d
+    return best
+
+
+@dataclass(frozen=True)
+class TrainingSetup:
+    """One cell of the paper's evaluation grid."""
+
+    model: ModelSpec
+    seq_len: int
+    world: int
+    method: str = "burst"
+    fsdp: bool = True
+    #: ZeRO stage refinement: None derives 3 from ``fsdp=True`` / 0 from
+    #: ``False``; explicit 1/2/3 shard optimizer / +grads / +params.
+    zero_stage: int | None = None
+    optimizer_offload: bool = False
+    checkpoint: str = "full"  # none | full | selective_pp | sequence_level
+    split_fraction: float = 0.5
+    head_mode: str = "fused"  # naive | tiled | fused
+    gpu_memory_bytes: float = 80 * GB
+
+    def local_seq(self) -> float:
+        """Tokens resident per GPU after sequence sharding."""
+        if self.method == "ulysses":
+            degree = ulysses_effective_degree(self.model.n_heads, self.world)
+            return self.seq_len / degree
+        return self.seq_len / self.world
+
+
+@dataclass
+class MemoryBreakdown:
+    """Per-GPU bytes by category."""
+
+    params: float
+    grads: float
+    optimizer: float
+    activations: float
+    lm_head: float
+    transient: float
+    budget: float = 80 * GB
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> float:
+        return (
+            self.params + self.grads + self.optimizer
+            + self.activations + self.lm_head + self.transient
+        )
+
+    @property
+    def total_gb(self) -> float:
+        return self.total / GB
+
+    @property
+    def oom(self) -> bool:
+        return self.total > self.budget
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "params_gb": self.params / GB,
+            "grads_gb": self.grads / GB,
+            "optimizer_gb": self.optimizer / GB,
+            "activations_gb": self.activations / GB,
+            "lm_head_gb": self.lm_head / GB,
+            "transient_gb": self.transient / GB,
+            "total_gb": self.total_gb,
+            "oom": self.oom,
+        }
+
+
+class MemoryModel:
+    """Evaluate :class:`TrainingSetup` cells into per-GPU peaks."""
+
+    def checkpoint_factor(self, setup: TrainingSetup) -> float:
+        """Stored activation elems per layer per token, in hidden units."""
+        kind = setup.checkpoint
+        if kind == "none":
+            return FULL_ACTIVATION_FACTOR
+        if kind == "full":
+            return 1.0
+        if kind == "selective_pp":
+            return 2.0  # layer input + whitelisted attention output
+        if kind == "sequence_level":
+            return 1.0 + (1.0 - setup.split_fraction)
+        raise ValueError(f"unknown checkpoint policy {setup.checkpoint!r}")
+
+    def activation_bytes(self, setup: TrainingSetup) -> float:
+        s_loc = setup.local_seq()
+        per_layer = self.checkpoint_factor(setup) * s_loc * setup.model.hidden
+        return per_layer * setup.model.n_layers * BYTES_BF16
+
+    def lm_head_bytes(self, setup: TrainingSetup) -> float:
+        s_loc = setup.local_seq()
+        v = setup.model.vocab
+        if setup.head_mode == "naive":
+            return s_loc * v * BYTES_BF16  # materialised logits (Fig. 8)
+        if setup.head_mode == "tiled":
+            return s_loc * 4  # fp32 lse row statistics
+        if setup.head_mode == "fused":
+            return 0.0
+        raise ValueError(f"unknown head mode {setup.head_mode!r}")
+
+    def state_bytes(self, setup: TrainingSetup) -> tuple[float, float, float]:
+        """(params, grads, optimizer) per GPU.
+
+        ZeRO stages shard progressively: stage 1 the optimizer states,
+        stage 2 also the gradients, stage 3 (= FSDP) also the parameters.
+        With ZeRO-Offload, optimizer states live on the host and gradient
+        shards stream there as they are produced, so on-GPU gradient
+        memory is roughly one layer's worth rather than the full model.
+        """
+        n = setup.model.n_params
+        stage = setup.zero_stage
+        if stage is None:
+            stage = 3 if setup.fsdp else 0
+        if stage not in (0, 1, 2, 3):
+            raise ValueError(f"zero_stage must be 0..3, got {stage}")
+        g = setup.world
+        params = n * BYTES_BF16 / (g if stage >= 3 else 1)
+        if setup.optimizer_offload:
+            grads = n * BYTES_BF16 / max(setup.model.n_layers, 1)
+            optimizer = 0.0
+        else:
+            grads = n * BYTES_BF16 / (g if stage >= 2 else 1)
+            optimizer = n * BYTES_OPTIMIZER_PER_PARAM / (g if stage >= 1 else 1)
+        return params, grads, optimizer
+
+    def transient_bytes(self, setup: TrainingSetup) -> float:
+        """One layer's live working set plus communication buffers."""
+        s_loc = setup.local_seq()
+        h = setup.model.hidden
+        layer_live = FULL_ACTIVATION_FACTOR * s_loc * h * BYTES_BF16
+        # Triple-buffered ring communication (compute/intra/inter) of a
+        # K+V-sized bundle, or all-to-all staging for Ulysses.
+        comm = 3 * 2 * s_loc * h * BYTES_BF16
+        return layer_live + comm
+
+    def breakdown(self, setup: TrainingSetup) -> MemoryBreakdown:
+        params, grads, optimizer = self.state_bytes(setup)
+        bd = MemoryBreakdown(
+            params=params,
+            grads=grads,
+            optimizer=optimizer,
+            activations=self.activation_bytes(setup),
+            lm_head=self.lm_head_bytes(setup),
+            transient=self.transient_bytes(setup),
+            budget=setup.gpu_memory_bytes,
+        )
+        if setup.method == "ulysses":
+            eff = ulysses_effective_degree(setup.model.n_heads, setup.world)
+            if eff < setup.world:
+                bd.notes.append(
+                    f"Ulysses degree limited to {eff} by {setup.model.n_heads} heads"
+                )
+        if not setup.fsdp:
+            bd.notes.append("no FSDP: replicated parameters and optimizer states")
+        if bd.oom:
+            bd.notes.append(
+                f"OOM: {bd.total_gb:.1f} GB > {setup.gpu_memory_bytes / GB:.0f} GB"
+            )
+        return bd
+
+
+def logits_memory_bytes(seq_len: int, vocab: int, bytes_per_elem: int = BYTES_BF16) -> float:
+    """Fig. 8's quantity: total memory of the LM head's logits."""
+    return float(seq_len) * vocab * bytes_per_elem
+
+
+def checkpoint_memory_curve(
+    model: ModelSpec, seq_lens: list[int], world: int, policy: str,
+    split_fraction: float = 0.5,
+) -> list[float]:
+    """Fig. 7's quantity: stored-activation GB vs sequence length."""
+    mm = MemoryModel()
+    out = []
+    for s in seq_lens:
+        setup = TrainingSetup(
+            model=model, seq_len=s, world=world, checkpoint=policy,
+            split_fraction=split_fraction,
+        )
+        out.append(mm.activation_bytes(setup) / GB)
+    return out

@@ -1,0 +1,82 @@
+"""Bridge measured traffic logs to modeled communication time.
+
+The numeric layer *measures* every transfer; the DES *models* durations.
+This module connects them: given a :class:`~repro.comm.TrafficLog` from a
+real (simulated-cluster) run and the topology it ran on, estimate the
+serialized communication time per phase and per link class — useful for
+profiling actual workloads (e.g. an engine training step) without
+hand-building a DES graph, and for sanity-checking the analytic models
+against executed traffic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.comm.traffic import TrafficLog
+from repro.topology import ClusterTopology, LinkClass
+from repro.utils.format import format_bytes, format_table
+
+
+@dataclass
+class PhaseProfile:
+    """Per-phase communication estimate."""
+
+    phase: str
+    bytes_by_link: dict[LinkClass, int] = field(default_factory=dict)
+    transfers_by_link: dict[LinkClass, int] = field(default_factory=dict)
+    #: serialized per-link busy time of the busiest rank (lower bound on
+    #: the phase's communication wall-clock)
+    busy_time_by_link: dict[LinkClass, float] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_link.values())
+
+    @property
+    def bound_time(self) -> float:
+        """Max over links of the busiest rank's busy time — the phase
+        cannot finish faster even with perfect overlap between links."""
+        return max(self.busy_time_by_link.values(), default=0.0)
+
+
+def profile_traffic(log: TrafficLog, topology: ClusterTopology) -> dict[str, PhaseProfile]:
+    """Aggregate a traffic log into per-phase profiles."""
+    # per (phase, link): total bytes/counts; per (phase, link, src): busy time
+    profiles: dict[str, PhaseProfile] = {}
+    busy: dict[tuple[str, LinkClass, int], float] = defaultdict(float)
+    for rec in log.records:
+        prof = profiles.setdefault(rec.phase, PhaseProfile(phase=rec.phase))
+        prof.bytes_by_link[rec.link] = prof.bytes_by_link.get(rec.link, 0) + rec.nbytes
+        prof.transfers_by_link[rec.link] = (
+            prof.transfers_by_link.get(rec.link, 0) + 1
+        )
+        busy[(rec.phase, rec.link, rec.src)] += topology.transfer_time(
+            rec.nbytes, rec.link
+        )
+    for (phase, link, _src), t in busy.items():
+        prof = profiles[phase]
+        prof.busy_time_by_link[link] = max(
+            prof.busy_time_by_link.get(link, 0.0), t
+        )
+    return profiles
+
+
+def profile_report(log: TrafficLog, topology: ClusterTopology) -> str:
+    """Human-readable per-phase communication table."""
+    profiles = profile_traffic(log, topology)
+    rows = []
+    for phase, prof in profiles.items():
+        for link, nbytes in sorted(prof.bytes_by_link.items(),
+                                   key=lambda kv: kv[0].value):
+            rows.append([
+                phase,
+                link.value,
+                format_bytes(nbytes),
+                prof.transfers_by_link[link],
+                f"{prof.busy_time_by_link.get(link, 0.0) * 1e3:.3f} ms",
+            ])
+    return format_table(
+        ["phase", "link", "bytes", "transfers", "busiest-rank time"], rows
+    )

@@ -1,0 +1,378 @@
+"""DES task graphs for one distributed attention pass (fwd or bwd).
+
+Each method's overlap structure (Fig. 5 of the paper) is encoded as a task
+graph over one representative GPU's three resources — ``compute``, its
+NVLink channel ``intra``, and its NIC ``inter``:
+
+* **flat ring** (Megatron-CP): the ring advances in lockstep, so every
+  transition costs the *slowest* hop (inter-node once the cluster spans
+  nodes).  KV circulation overlaps compute ("activation" pattern);
+  gradient circulation uses the delayed double buffer.
+* **double ring** (LoongTrain): intra and inter rings run on their own
+  links and overlap each other and compute in the forward / KV phases, but
+  LoongTrain does **not** overlap the gradient buffers — they drain
+  serially after compute (the ``+2(I*T_intra + E*T_inter)`` of Table 1).
+* **burst**: like double ring, plus the warm-up-delayed double buffer that
+  pipelines gradient communication against compute (Fig. 5 bottom), and
+  Algorithm 2's smaller backward payload.
+* **ulysses**: two all-to-alls bracketing local compute; the collectives
+  cannot overlap the attention they feed ("can not overlap all-to-all
+  communication with computation").
+* **usp**: Ulysses inside each node (intra-link all-to-all) + a flat ring
+  of Algorithm 1 over the node-striding ring groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comm import double_ring_schedule
+from repro.perf.cost import flat_ring_step_time, link_time, matmul_time
+from repro.perf.des import Simulator
+from repro.topology import ClusterTopology, LinkClass
+
+
+#: Attention-kernel efficiency relative to peak (softmax + masking overhead
+#: keep flash kernels below pure-GEMM efficiency on Ampere).
+ATTENTION_EFFICIENCY = 0.58
+
+#: Backward attention re-forms the score tiles and runs 4 gradient matmuls:
+#: ~2.5x the forward matmul volume.
+BACKWARD_FLOPS_FACTOR = 2.5
+
+
+@dataclass(frozen=True)
+class AttentionWorkload:
+    """One attention layer's distributed workload.
+
+    ``seq_len`` is the *global* sequence length; ``hidden`` the model dim
+    (= heads x head_dim); ``causal`` halves the pair count.
+    """
+
+    seq_len: int
+    hidden: int
+    n_heads: int
+    causal: bool = True
+    bytes_per_elem: int = 2
+    sparsity: float = 1.0  # fraction of causal pairs kept (SWA etc.)
+    kv_ratio: float = 1.0  # GQA: KV width relative to query width
+
+    def total_pairs(self) -> float:
+        pairs = float(self.seq_len) * self.seq_len
+        if self.causal:
+            pairs /= 2
+        return pairs * self.sparsity
+
+    def fwd_flops_per_gpu(self, world: int) -> float:
+        return 4.0 * self.total_pairs() * self.hidden / world
+
+    def shard_bytes(self, world: int) -> float:
+        """One query-width shard-sized buffer in bytes."""
+        return self.seq_len / world * self.hidden * self.bytes_per_elem
+
+    def kv_shard_bytes(self, world: int) -> float:
+        """One KV-width shard (narrower than query width under GQA)."""
+        return self.shard_bytes(world) * self.kv_ratio
+
+
+def _pipelined_ring(
+    sim: Simulator,
+    prefix: str,
+    transitions: list[tuple[str, float]],
+    step_compute: float,
+    grad_dependent: bool,
+) -> str:
+    """Ring circulation with double-buffered pipelining.
+
+    ``transitions`` is a list of ``(resource, duration)`` per transition.
+
+    * ``grad_dependent=False`` — activation pattern (Fig. 5 top): the
+      circulating data needs no compute, so communication chains only on
+      itself and compute step ``t`` waits for delivery ``t-1``.
+    * ``grad_dependent=True`` — the delayed double-buffer pattern (Fig. 5
+      bottom): one warm-up compute round, after which sub-chunked double
+      buffering lets each transfer overlap the next compute round; the
+      whole circulation is gated only by the warm-up and the two resource
+      chains (compute and links) running concurrently.
+
+    Returns the name of the last task.
+    """
+    steps = len(transitions) + 1
+    last = ""
+    comm_prev: dict[str, str] = {}
+    compute_prev = ""
+    delivered: str | None = None
+    for t in range(steps):
+        deps = []
+        if compute_prev:
+            deps.append(compute_prev)
+        if not grad_dependent and delivered is not None:
+            deps.append(delivered)
+        cname = f"{prefix}c{t}"
+        sim.add(cname, step_compute, resources=("compute",), deps=deps)
+        compute_prev = cname
+        last = cname
+        if t < len(transitions):
+            res, dur = transitions[t]
+            deps_m = []
+            if res in comm_prev:
+                deps_m.append(comm_prev[res])
+            if grad_dependent:
+                # every transfer waits for the warm-up round only;
+                # sub-chunk double buffering hides the per-slot coupling
+                deps_m.append(f"{prefix}c0")
+            mname = f"{prefix}m{t}"
+            sim.add(mname, dur, resources=(res,), deps=deps_m)
+            comm_prev[res] = mname
+            delivered = mname
+            if t == len(transitions) - 1:
+                last = mname
+    return last
+
+
+def _transition_durations(
+    topology: ClusterTopology, payload: float, flat: bool,
+    window: int | None = None,
+) -> list[tuple[str, float]]:
+    """Per-transition ``(resource, duration)`` for a full circulation."""
+    g = topology.world_size
+    if flat:
+        dur = flat_ring_step_time(topology, payload)
+        res = "inter" if topology.num_nodes > 1 else "intra"
+        return [(res, dur)] * (g - 1)
+    out = []
+    sched = double_ring_schedule(topology, window=window)
+    for t in range(len(sched.transitions)):
+        cls = sched.transition_link_class(t)
+        res = "intra" if cls is LinkClass.INTRA else "inter"
+        out.append((res, link_time(topology, payload, cls)))
+    return out
+
+
+def _flat_or_double_pass(
+    topology: ClusterTopology,
+    wl: AttentionWorkload,
+    peak_flops: float,
+    *,
+    flat: bool,
+    backward: bool,
+    serialize_gradients: bool,
+    alg2_payload: bool,
+    ring_window: int | None = None,
+) -> float:
+    g = topology.world_size
+    flops = wl.fwd_flops_per_gpu(g)
+    if backward:
+        flops *= BACKWARD_FLOPS_FACTOR
+    step_compute = matmul_time(flops / g, peak_flops, ATTENTION_EFFICIENCY)
+    shard = wl.shard_bytes(g)
+    kv_shard = wl.kv_shard_bytes(g)
+
+    sim = Simulator()
+    if not backward:
+        payload = 2 * kv_shard  # K + V
+        transitions = _transition_durations(topology, payload, flat, ring_window)
+        _pipelined_ring(sim, "f", transitions, step_compute, grad_dependent=False)
+        return sim.run()
+
+    if alg2_payload:
+        payload = shard * (3 + 2 / wl.hidden)  # Q + dQ + dO + (D, Lse)
+        transitions = _transition_durations(topology, payload, flat, ring_window)
+        # Gradient circulation with the delayed double buffer (warm-up
+        # round, then steady-state compute/comm overlap).
+        _pipelined_ring(sim, "b", transitions, step_compute, True)
+        makespan = sim.run()
+        if transitions:
+            makespan += transitions[-1][1]  # return-to-owner hop
+        return makespan
+
+    # Algorithm 1: KV part (2 shards) circulates like activations; the
+    # gradient part (2 shards) either pipelines (flat ring / Megatron)
+    # or drains serially after compute (LoongTrain's DoubleRing).
+    kv_payload = 2 * kv_shard
+    gr_payload = 2 * kv_shard
+    kv_transitions = _transition_durations(topology, kv_payload, flat, ring_window)
+    gr_transitions = _transition_durations(topology, gr_payload, flat, ring_window)
+    if serialize_gradients:
+        _pipelined_ring(sim, "b", kv_transitions, step_compute, False)
+        makespan = sim.run()
+        drain = sum(d for _, d in gr_transitions)
+        if gr_transitions:
+            drain += gr_transitions[-1][1]  # return hop
+        return makespan + drain
+    # combined payload pipelined with gradient dependency
+    both = [(res, d_kv + d_gr) for (res, d_kv), (_, d_gr) in
+            zip(kv_transitions, gr_transitions)]
+    _pipelined_ring(sim, "b", both, step_compute, True)
+    makespan = sim.run()
+    if both:
+        makespan += both[-1][1]
+    return makespan
+
+
+def _all_to_all_time(
+    topology: ClusterTopology, shard_bytes: float, group: list[int] | None = None
+) -> float:
+    """Time for one all-to-all of a shard-sized buffer per rank.
+
+    Each rank sends ``(u-1)/u`` of its shard, split across links by the
+    placement of the peers.  Without ``group``, the collective spans the
+    world (Ulysses); with a contiguous intra-node group it stays on NVLink.
+    """
+    g = topology.world_size
+    members = group if group is not None else list(range(g))
+    u = len(members)
+    if u == 1:
+        return 0.0
+    chunk = shard_bytes / u
+    same_node = sum(
+        1 for m in members[1:] if topology.node_of(m) == topology.node_of(members[0])
+    )
+    cross_node = (u - 1) - same_node
+    t_intra = link_time(topology, chunk * same_node, LinkClass.INTRA) if same_node else 0.0
+    t_inter = link_time(topology, chunk * cross_node, LinkClass.INTER) if cross_node else 0.0
+    # Sends to different peers proceed in parallel over disjoint links.
+    return max(t_intra, t_inter)
+
+
+def _ulysses_pass(
+    topology: ClusterTopology,
+    wl: AttentionWorkload,
+    peak_flops: float,
+    *,
+    backward: bool,
+) -> float:
+    g = topology.world_size
+    shard = wl.shard_bytes(g)
+    flops = wl.fwd_flops_per_gpu(g)
+    n_in = 1 if backward else 3      # dO in; q,k,v in
+    n_out = 3 if backward else 1     # dq,dk,dv out; o out
+    if backward:
+        flops *= BACKWARD_FLOPS_FACTOR
+    compute = matmul_time(flops, peak_flops, ATTENTION_EFFICIENCY)
+    a2a_in = _all_to_all_time(topology, n_in * shard)
+    a2a_out = _all_to_all_time(topology, n_out * shard)
+    # Strictly serial: collective -> compute -> collective.
+    return a2a_in + compute + a2a_out
+
+
+def _usp_pass(
+    topology: ClusterTopology,
+    wl: AttentionWorkload,
+    peak_flops: float,
+    *,
+    backward: bool,
+    ulysses_degree: int | None = None,
+) -> float:
+    g = topology.world_size
+    u = ulysses_degree or min(topology.gpus_per_node, wl.n_heads)
+    while wl.n_heads % u != 0 and u > 1:
+        u -= 1
+    r = g // u
+    shard = wl.shard_bytes(g)
+    flops = wl.fwd_flops_per_gpu(g)
+    if backward:
+        flops *= BACKWARD_FLOPS_FACTOR
+    step_compute = matmul_time(flops / r, peak_flops, ATTENTION_EFFICIENCY)
+
+    # Head-first placement: the Ulysses group is contiguous (intra-node
+    # when u <= gpus_per_node).
+    group = list(range(u))
+    n_in = 1 if backward else 3
+    n_out = 3 if backward else 1
+    a2a = _all_to_all_time(topology, n_in * shard, group) + _all_to_all_time(
+        topology, n_out * shard, group
+    )
+
+    # Ring over r positions; each hop strides u ranks (inter-node once the
+    # ring leaves the node).  Ring payload: the rank now holds N/r tokens
+    # of H/u heads => same bytes as `shard * ...` per circulating buffer.
+    ring_buf = wl.seq_len / r * (wl.hidden / u) * wl.bytes_per_elem
+    hop_inter = topology.num_nodes > 1 and u >= topology.gpus_per_node
+    cls = LinkClass.INTER if hop_inter else LinkClass.INTRA
+    res = "inter" if hop_inter else "intra"
+    if backward:
+        # Algorithm 1 over the short ring: KV circulation overlaps, the
+        # gradient buffers drain serially (LoongTrain's limitation).
+        kv = [(res, link_time(topology, 2 * ring_buf, cls))] * (r - 1)
+        sim = Simulator()
+        _pipelined_ring(sim, "u", kv, step_compute, grad_dependent=False)
+        ring_time = sim.run()
+        grad_hop = link_time(topology, 2 * ring_buf, cls)
+        ring_time += r * grad_hop if r > 1 else 0.0
+    else:
+        payload = 2 * ring_buf
+        transitions = [(res, link_time(topology, payload, cls))] * (r - 1)
+        sim = Simulator()
+        _pipelined_ring(sim, "u", transitions, step_compute, grad_dependent=False)
+        ring_time = sim.run()
+    return a2a + ring_time
+
+
+def attention_pass_time(
+    method: str,
+    topology: ClusterTopology,
+    workload: AttentionWorkload,
+    *,
+    backward: bool = False,
+    peak_flops: float | None = None,
+    ulysses_degree: int | None = None,
+    ring_window: int | None = None,
+) -> float:
+    """Simulated wall-clock seconds for one distributed attention pass."""
+    peak = peak_flops if peak_flops is not None else topology.node.gpu.peak_flops
+    if method == "megatron-cp":
+        # Flat lockstep ring; like every Algorithm-1 implementation it
+        # overlaps the KV circulation but not the gradient buffers.
+        return _flat_or_double_pass(
+            topology, workload, peak, flat=True, backward=backward,
+            serialize_gradients=True, alg2_payload=False,
+        )
+    if method == "loongtrain-double":
+        return _flat_or_double_pass(
+            topology, workload, peak, flat=False, backward=backward,
+            serialize_gradients=True, alg2_payload=False,
+        )
+    if method == "burst":
+        return _flat_or_double_pass(
+            topology, workload, peak, flat=False, backward=backward,
+            serialize_gradients=False, alg2_payload=True,
+            ring_window=ring_window,
+        )
+    if method == "burst-flat":  # ablation: Alg. 2 without topology-aware ring
+        return _flat_or_double_pass(
+            topology, workload, peak, flat=True, backward=backward,
+            serialize_gradients=False, alg2_payload=True,
+        )
+    if method == "double-alg1-overlap":  # ablation: topo ring, Alg. 1, overlapped
+        return _flat_or_double_pass(
+            topology, workload, peak, flat=False, backward=backward,
+            serialize_gradients=False, alg2_payload=False,
+        )
+    if method == "burst-adaptive":
+        # GQA extension: circulate whichever backward bundle is smaller
+        # (query-sized Alg. 2 vs KV-sized Alg. 1, both delayed-overlapped).
+        alg2_units = 3 + 2 / workload.hidden
+        alg1_units = 4 * workload.kv_ratio
+        return _flat_or_double_pass(
+            topology, workload, peak, flat=False, backward=backward,
+            serialize_gradients=False, alg2_payload=(alg2_units <= alg1_units),
+            ring_window=ring_window,
+        )
+    if method == "ulysses":
+        return _ulysses_pass(topology, workload, peak, backward=backward)
+    if method == "usp":
+        return _usp_pass(
+            topology, workload, peak, backward=backward,
+            ulysses_degree=ulysses_degree,
+        )
+    raise ValueError(f"unknown attention schedule {method!r}")
+
+
+ATTENTION_SCHEDULES = (
+    "megatron-cp",
+    "loongtrain-double",
+    "burst",
+    "ulysses",
+    "usp",
+)

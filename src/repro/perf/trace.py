@@ -1,0 +1,48 @@
+"""Export DES timelines as Chrome trace JSON (``chrome://tracing`` /
+Perfetto) for visual inspection of the overlap structure."""
+
+from __future__ import annotations
+
+import json
+
+from repro.perf.des import Simulator
+
+
+def trace_to_chrome_json(sim: Simulator, path: str | None = None) -> str:
+    """Serialise a completed simulation as a Chrome trace.
+
+    Tasks are grouped by their first resource ("compute", "intra",
+    "inter") into trace rows.  Run :meth:`Simulator.run` first.  Returns
+    the JSON string and optionally writes it to ``path``.
+    """
+    events = []
+    rows: dict[str, int] = {}
+    for task in sim.timeline():
+        row = task.resources[0] if task.resources else "free"
+        tid = rows.setdefault(row, len(rows) + 1)
+        events.append(
+            {
+                "name": task.name,
+                "ph": "X",
+                "ts": round(task.start * 1e6, 3),   # chrome traces use us
+                "dur": round(task.duration * 1e6, 3),
+                "pid": 1,
+                "tid": tid,
+                "args": {"resource": row, "deps": list(task.deps)},
+            }
+        )
+    for row, tid in rows.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": row},
+            }
+        )
+    payload = json.dumps({"traceEvents": events}, indent=2)
+    if path is not None:
+        with open(path, "w") as fh:
+            fh.write(payload)
+    return payload

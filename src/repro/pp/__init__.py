@@ -1,0 +1,34 @@
+"""Pipeline parallelism: the layer-sharding axis.
+
+Completes the parallelism taxonomy the paper's introduction draws from
+(context / head / tensor / pipeline [GPipe]).  Two halves:
+
+* :mod:`repro.pp.pipeline` — numeric execution: a
+  :class:`~repro.nn.TransformerLM` split into stages, one per rank, with
+  every boundary crossing (activations forward, their gradients backward)
+  flowing through the logged communicator while the autograd graph stays
+  exact (loss/gradients equal the unsharded model's).
+* :mod:`repro.pp.schedule` — timing: GPipe and 1F1B schedules as DES
+  task graphs, the classic bubble fraction ``(P-1)/(M+P-1)``, and the
+  in-flight activation count that separates the two schedules' memory.
+
+Relevance to the paper: pipeline microbatching needs many *independent*
+microbatches, but a 1M-token sequence is one sample — long-context
+training cannot slice its way to pipeline efficiency, which is another
+reason the paper's sequence-dimension parallelism is the right axis.
+"""
+
+from repro.pp.pipeline import PipelinedLM, pipeline_boundary
+from repro.pp.schedule import (
+    gpipe_bubble_fraction,
+    in_flight_microbatches,
+    pipeline_step_time,
+)
+
+__all__ = [
+    "PipelinedLM",
+    "pipeline_boundary",
+    "gpipe_bubble_fraction",
+    "in_flight_microbatches",
+    "pipeline_step_time",
+]

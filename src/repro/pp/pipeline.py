@@ -1,0 +1,113 @@
+"""Numeric pipeline-parallel execution.
+
+The model's blocks are partitioned into contiguous stages; stage ``s``
+"lives" on rank ``s``.  Boundary crossings are autograd Functions that
+pass the data through unchanged while logging the transfer — forward
+sends the ``(S, D)`` activation to the next stage, backward returns its
+gradient — so pipeline traffic is measured by the same machinery as every
+other parallelism axis, and the computation graph (hence losses and
+gradients) is bit-identical to the unsharded model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm import SimCommunicator
+from repro.nn.function import Function
+from repro.nn.modules import TransformerLM
+from repro.nn.tensor import Tensor
+
+
+class PipelineBoundaryFn(Function):
+    """Identity with logged stage-boundary communication."""
+
+    def forward(self, x, comm: SimCommunicator = None, src: int = 0,
+                dst: int = 0, phase: str = "pp"):
+        if comm is None:
+            raise ValueError("pipeline boundary requires comm=")
+        self.comm, self.src, self.dst, self.phase = comm, src, dst, phase
+        return comm.send(src, dst, x, phase=f"{phase}-fwd", tag="activation")
+
+    def backward(self, grad_out):
+        # The gradient travels the reverse direction.
+        g = self.comm.send(self.dst, self.src, grad_out,
+                           phase=f"{self.phase}-bwd", tag="act-grad")
+        return (g,)
+
+
+def pipeline_boundary(x: Tensor, comm: SimCommunicator, src: int, dst: int) -> Tensor:
+    """Send an activation across a stage boundary (differentiable)."""
+    return PipelineBoundaryFn.apply(x, comm=comm, src=src, dst=dst)
+
+
+class PipelinedLM:
+    """A :class:`TransformerLM` executed across pipeline stages.
+
+    ``num_stages`` must divide the layer count; embeddings ride with
+    stage 0 and the final norm + LM head with the last stage (standard
+    placement).  The wrapped model's parameters are shared, so optimizers
+    and checkpoints work unchanged.
+    """
+
+    def __init__(self, model: TransformerLM, comm: SimCommunicator,
+                 num_stages: int | None = None):
+        self.model = model
+        self.comm = comm
+        self.num_stages = num_stages if num_stages is not None else comm.world_size
+        n_layers = len(model.blocks)
+        if self.num_stages < 1 or n_layers % self.num_stages != 0:
+            raise ValueError(
+                f"{n_layers} layers not divisible into {self.num_stages} stages"
+            )
+        if self.num_stages > comm.world_size:
+            raise ValueError(
+                f"{self.num_stages} stages need at least that many ranks "
+                f"(world = {comm.world_size})"
+            )
+        self.layers_per_stage = n_layers // self.num_stages
+
+    def stage_of_layer(self, layer: int) -> int:
+        return layer // self.layers_per_stage
+
+    def forward(self, ids: np.ndarray, targets: np.ndarray) -> Tensor:
+        """Run one microbatch through all stages; returns the loss."""
+        from repro.nn import ops
+        from repro.nn.modules import FusedLMHeadLossFn
+
+        model = self.model
+        s = len(ids)
+        x = ops.add(model.tok_emb(ids), model.pos_emb(np.arange(s)))
+        for i, block in enumerate(model.blocks):
+            stage = self.stage_of_layer(i)
+            if i > 0 and stage != self.stage_of_layer(i - 1):
+                x = pipeline_boundary(x, self.comm, stage - 1, stage)
+            x = block(x)
+        h = model.final_norm(x)
+        return FusedLMHeadLossFn.apply(
+            h, model.lm_head.weight, targets=np.asarray(targets),
+            impl=model.config.head_impl,
+        )
+
+    def train_step(self, microbatches, optimizer) -> float:
+        """Accumulate all microbatches' gradients, then step.
+
+        Numerically this is GPipe/1F1B-agnostic (schedules only reorder
+        work); returns the mean loss.
+        """
+        if not microbatches:
+            raise ValueError("need at least one microbatch")
+        optimizer.zero_grad()
+        total = 0.0
+        m = len(microbatches)
+        for ids, targets in microbatches:
+            loss = self.forward(ids, targets)
+            total += loss.item() / m
+            loss.backward(np.asarray(1.0 / m))
+        optimizer.step()
+        return total
+
+    def boundary_bytes_per_microbatch(self, seq_len: int) -> int:
+        """Forward activation bytes crossing all boundaries once."""
+        d = self.model.config.dim
+        return (self.num_stages - 1) * seq_len * d * 8

@@ -1,0 +1,37 @@
+"""Cluster topology description: devices, nodes, links, and hardware presets.
+
+The topology layer is the single source of truth for "where ranks live":
+which GPUs share a node (NVLink class links) and which pairs of ranks must
+cross the inter-node network (InfiniBand class links).  Both the simulated
+communicator (:mod:`repro.comm`) and the discrete-event performance model
+(:mod:`repro.perf`) consult the same :class:`ClusterTopology` object, so
+traffic classification and timing always agree.
+"""
+
+from repro.topology.hardware import (
+    GPUSpec,
+    LinkSpec,
+    NodeSpec,
+    A800_GPU,
+    A100_GPU,
+    NVLINK_400,
+    IB_HDR_200,
+    a800_node,
+    a100_node,
+)
+from repro.topology.cluster import ClusterTopology, LinkClass, make_cluster
+
+__all__ = [
+    "GPUSpec",
+    "LinkSpec",
+    "NodeSpec",
+    "A800_GPU",
+    "A100_GPU",
+    "NVLINK_400",
+    "IB_HDR_200",
+    "a800_node",
+    "a100_node",
+    "ClusterTopology",
+    "LinkClass",
+    "make_cluster",
+]

@@ -1,0 +1,126 @@
+"""Hardware specifications for GPUs, links, and nodes.
+
+All bandwidth figures are stored in **bytes per second** and latencies in
+**seconds** so that cost arithmetic never needs unit conversions.  Presets
+match the paper's testbed: A800-SXM4-80GB nodes with 400 GB/s NVLink and
+8 x 200 Gb/s HDR InfiniBand NICs per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+GB = 1e9
+GIB = 2**30
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A single accelerator.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"A800-SXM4-80GB"``.
+    peak_flops:
+        Peak dense matmul throughput in FLOP/s for the training dtype
+        (bf16 with fp32 accumulate on Ampere).
+    memory_bytes:
+        Usable HBM capacity in bytes.  Peak-memory models treat exceeding
+        this as an out-of-memory failure.
+    memory_bandwidth:
+        HBM bandwidth in bytes/s (used by bandwidth-bound cost terms such
+        as softmax and elementwise passes).
+    """
+
+    name: str
+    peak_flops: float
+    memory_bytes: float
+    memory_bandwidth: float
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A communication link class.
+
+    ``bandwidth`` is the per-direction bandwidth available to a single
+    ring neighbour transfer in bytes/s; ``latency`` is the fixed per-message
+    launch cost in seconds.
+    """
+
+    name: str
+    bandwidth: float
+    latency: float
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A host with ``gpus_per_node`` GPUs, an intra-node fabric and NICs.
+
+    Attributes
+    ----------
+    nics_per_node:
+        Number of network interface controllers.  Topology-aware rings can
+        drive all NICs concurrently (one per intra-node GPU pair crossing
+        the node boundary), which is exactly the effect the paper exploits.
+    """
+
+    name: str
+    gpu: GPUSpec
+    gpus_per_node: int
+    intra_link: LinkSpec
+    inter_link: LinkSpec
+    nics_per_node: int = 8
+    cpu_cores: int = 128
+
+
+# --- Presets matching the paper's experimental settings -------------------
+
+#: A800 keeps A100 compute but caps NVLink at 400 GB/s aggregate.
+A800_GPU = GPUSpec(
+    name="A800-SXM4-80GB",
+    peak_flops=312e12,
+    memory_bytes=80 * GB,
+    memory_bandwidth=2039 * GB / 1.0,
+)
+
+A100_GPU = GPUSpec(
+    name="A100-SXM4-80GB",
+    peak_flops=312e12,
+    memory_bytes=80 * GB,
+    memory_bandwidth=2039 * GB / 1.0,
+)
+
+#: 400 GB/s aggregate NVLink.  A single ring-neighbour NCCL flow sustains
+#: ~160 GB/s effective (measured p2p efficiency), which is the number the
+#: timing model needs.
+NVLINK_400 = LinkSpec(name="NVLink-400GBps", bandwidth=160 * GB, latency=5e-6)
+
+#: HDR InfiniBand NIC: 200 Gb/s = 25 GB/s line rate; a single NCCL p2p
+#: flow across nodes lands near half of that in practice.
+IB_HDR_200 = LinkSpec(name="IB-HDR-200Gbps", bandwidth=12.5 * GB, latency=12e-6)
+
+
+def a800_node(gpus_per_node: int = 8, nics_per_node: int = 8) -> NodeSpec:
+    """The paper's A800 node: 8 GPUs, 400 GB/s NVLink, 8 HDR NICs."""
+    return NodeSpec(
+        name="A800-node",
+        gpu=A800_GPU,
+        gpus_per_node=gpus_per_node,
+        intra_link=NVLINK_400,
+        inter_link=IB_HDR_200,
+        nics_per_node=nics_per_node,
+    )
+
+
+def a100_node(gpus_per_node: int = 8, nics_per_node: int = 8) -> NodeSpec:
+    """A100 node used in the attention-only benchmark (Figure 14)."""
+    return NodeSpec(
+        name="A100-node",
+        gpu=A100_GPU,
+        gpus_per_node=gpus_per_node,
+        intra_link=NVLINK_400,
+        inter_link=IB_HDR_200,
+        nics_per_node=nics_per_node,
+    )

@@ -1,0 +1,37 @@
+"""Tensor parallelism (Megatron-style), the third parallelism axis.
+
+The paper's introduction lists three ways to distribute long-sequence
+training: Context Parallelism (RingAttention et al.), Head Parallelism
+(Ulysses), and **Tensor Parallelism** [Shoeybi/Narayanan et al.].  This
+package implements the Megatron TP pattern over the simulated cluster —
+column-parallel QKV / gate / up projections, row-parallel output / down
+projections, one all-reduce per sub-block per direction — with real
+per-rank numerics and logged traffic.
+
+Its role in the reproduction is motivational: TP shards *weights*, not
+*sequence*, so activations stay full-length on every rank and its
+communication volume scales with ``S * h`` per layer.  The analysis in
+:func:`tp_scaling_analysis` shows both blowing up long before 1M tokens —
+exactly why the paper builds on context parallelism instead.
+"""
+
+from repro.tp.layers import (
+    shard_columns,
+    shard_rows,
+    tp_attention,
+    tp_mlp,
+)
+from repro.tp.model import TPSelfAttention, TPSwiGLU, build_tp_model
+from repro.tp.analysis import tp_layer_comm_bytes, tp_scaling_analysis
+
+__all__ = [
+    "shard_columns",
+    "shard_rows",
+    "tp_attention",
+    "tp_mlp",
+    "TPSelfAttention",
+    "TPSwiGLU",
+    "build_tp_model",
+    "tp_layer_comm_bytes",
+    "tp_scaling_analysis",
+]

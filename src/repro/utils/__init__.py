@@ -1,0 +1,14 @@
+"""Small shared utilities (pytrees, formatting, seeding)."""
+
+from repro.utils.pytree import tree_flatten, tree_unflatten, tree_map, tree_nbytes, tree_nelems
+from repro.utils.format import format_bytes, format_table
+
+__all__ = [
+    "tree_flatten",
+    "tree_unflatten",
+    "tree_map",
+    "tree_nbytes",
+    "tree_nelems",
+    "format_bytes",
+    "format_table",
+]

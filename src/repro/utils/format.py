@@ -1,0 +1,29 @@
+"""Text formatting helpers for harness output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human-readable byte count, e.g. ``'1.50 GB'``."""
+    value = float(nbytes)
+    for unit in ("B", "KB", "MB", "GB", "TB", "PB"):
+        if abs(value) < 1000.0 or unit == "PB":
+            if unit == "B":
+                return f"{value:.0f} {unit}"
+            return f"{value:.2f} {unit}"
+        value /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table (paper-style results output)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for j, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if j == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

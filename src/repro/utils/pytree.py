@@ -1,0 +1,83 @@
+"""Minimal pytree utilities for bundles of numpy arrays.
+
+Ring communication in the attention algorithms moves *bundles* of arrays
+(e.g. RingAttention's ``(K, V, dK, dV)`` vs BurstAttention's
+``(Q, dQ, dO, D, Lse)``).  These helpers let the communicator treat any
+nesting of tuples/lists/dicts of arrays uniformly while preserving
+structure on the receiving side.
+
+Only three container types are supported on purpose — ``tuple``, ``list``
+and ``dict`` (with sorted keys) — which keeps round-tripping unambiguous.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+Leaf = np.ndarray
+PyTree = Any
+
+
+def tree_flatten(tree: PyTree) -> tuple[list[Leaf], Any]:
+    """Flatten ``tree`` into a list of leaves and a reconstruction spec."""
+    leaves: list[Leaf] = []
+
+    def spec_of(node: PyTree) -> Any:
+        if isinstance(node, np.ndarray):
+            leaves.append(node)
+            return None  # None marks a leaf slot
+        if isinstance(node, tuple):
+            return ("tuple", [spec_of(x) for x in node])
+        if isinstance(node, list):
+            return ("list", [spec_of(x) for x in node])
+        if isinstance(node, dict):
+            keys = sorted(node)
+            return ("dict", keys, [spec_of(node[k]) for k in keys])
+        raise TypeError(f"unsupported pytree node type: {type(node).__name__}")
+
+    spec = spec_of(tree)
+    return leaves, spec
+
+
+def tree_unflatten(spec: Any, leaves: list[Leaf]) -> PyTree:
+    """Rebuild a pytree from ``spec`` and a list of leaves."""
+    it = iter(leaves)
+
+    def build(node_spec: Any) -> PyTree:
+        if node_spec is None:
+            return next(it)
+        kind = node_spec[0]
+        if kind == "tuple":
+            return tuple(build(s) for s in node_spec[1])
+        if kind == "list":
+            return [build(s) for s in node_spec[1]]
+        if kind == "dict":
+            _, keys, subspecs = node_spec
+            return {k: build(s) for k, s in zip(keys, subspecs)}
+        raise TypeError(f"corrupt pytree spec: {node_spec!r}")
+
+    out = build(spec)
+    remaining = sum(1 for _ in it)
+    if remaining:
+        raise ValueError(f"{remaining} unconsumed leaves while unflattening")
+    return out
+
+
+def tree_map(fn: Callable[[Leaf], Leaf], tree: PyTree) -> PyTree:
+    """Apply ``fn`` to every array leaf, preserving structure."""
+    leaves, spec = tree_flatten(tree)
+    return tree_unflatten(spec, [fn(leaf) for leaf in leaves])
+
+
+def tree_nbytes(tree: PyTree) -> int:
+    """Total payload bytes across all leaves."""
+    leaves, _ = tree_flatten(tree)
+    return sum(leaf.nbytes for leaf in leaves)
+
+
+def tree_nelems(tree: PyTree) -> int:
+    """Total element count across all leaves."""
+    leaves, _ = tree_flatten(tree)
+    return sum(leaf.size for leaf in leaves)

@@ -1,0 +1,114 @@
+"""Fault injection: corrupt the communication layer and confirm the
+verification machinery catches it.
+
+A reproduction's tests are only as good as their ability to *fail*.  These
+meta-tests inject realistic distributed-systems bugs — a corrupted
+transfer, a dropped gradient return, a misrouted ring hop — and assert the
+dense-reference comparisons detect every one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attention import get_method
+from repro.attention.verify import verify_method
+from repro.comm import SimCommunicator
+from repro.masks import CausalMask
+from repro.topology import a800_node, make_cluster
+from repro.utils.pytree import tree_map
+
+
+TOPO = make_cluster(4, node=a800_node(gpus_per_node=4))
+
+
+class CorruptingCommunicator(SimCommunicator):
+    """Perturbs the payload of the Nth ring transfer."""
+
+    def __init__(self, topology, corrupt_at: int, noise: float = 1e-3):
+        super().__init__(topology)
+        self.corrupt_at = corrupt_at
+        self.noise = noise
+        self._count = 0
+
+    def ring_shift(self, bufs, ring, *, phase, tag=""):
+        out = super().ring_shift(bufs, ring, phase=phase, tag=tag)
+        self._count += 1
+        if self._count == self.corrupt_at:
+            out = list(out)
+            out[ring[0]] = tree_map(
+                lambda a: a + self.noise if a.dtype.kind == "f" else a,
+                out[ring[0]],
+            )
+        return out
+
+
+class DroppingCommunicator(SimCommunicator):
+    """Silently zeroes the gradient-return exchange (a lost message)."""
+
+    def exchange(self, bufs, dest_of, *, phase, tag=""):
+        out = super().exchange(bufs, dest_of, phase=phase, tag=tag)
+        if "return" in tag:
+            out = [tree_map(np.zeros_like, b) for b in out]
+        return out
+
+
+class MisroutingCommunicator(SimCommunicator):
+    """Sends ring traffic in the wrong direction (a routing bug).
+
+    Note a *rotated* ring list would be the same cyclic ring — the
+    successor map is what matters — so the bug reverses it instead.
+    """
+
+    def ring_shift(self, bufs, ring, *, phase, tag=""):
+        return super().ring_shift(bufs, list(ring)[::-1], phase=phase, tag=tag)
+
+
+def run_with_comm(comm):
+    rng = np.random.default_rng(0)
+    q, k, v, do = (rng.normal(size=(2, 32, 8)) for _ in range(4))
+    method = get_method("burst", block_size=8)
+    res = method.run(TOPO, q, k, v, mask=CausalMask(), do=do, comm=comm)
+    ref = get_method("burst", block_size=8).run(
+        TOPO, q, k, v, mask=CausalMask(), do=do
+    )
+    return res, ref
+
+
+class TestFaultsAreDetected:
+    def test_clean_run_matches(self):
+        res, ref = run_with_comm(SimCommunicator(TOPO))
+        np.testing.assert_allclose(res.o, ref.o, rtol=1e-12)
+        np.testing.assert_allclose(res.dq, ref.dq, rtol=1e-12)
+
+    def test_corrupted_transfer_changes_output(self):
+        res, ref = run_with_comm(CorruptingCommunicator(TOPO, corrupt_at=1))
+        assert not np.allclose(res.o, ref.o, rtol=1e-9)
+
+    def test_late_corruption_only_hits_backward(self):
+        """Corrupting a transfer after the forward's 3 transitions leaves
+        the output intact but poisons gradients."""
+        comm = CorruptingCommunicator(TOPO, corrupt_at=4)
+        res, ref = run_with_comm(comm)
+        np.testing.assert_allclose(res.o, ref.o, rtol=1e-12)
+        assert not np.allclose(res.dq, ref.dq, rtol=1e-9)
+
+    def test_dropped_gradient_return_detected(self):
+        res, ref = run_with_comm(DroppingCommunicator(TOPO))
+        # Algorithm 2 returns dQ via the final exchange: zeroing it must show
+        assert not np.allclose(res.dq, ref.dq, rtol=1e-9)
+
+    def test_misrouting_detected(self):
+        res, ref = run_with_comm(MisroutingCommunicator(TOPO))
+        assert not np.allclose(res.o, ref.o, rtol=1e-6)
+
+    def test_verify_method_flags_noisy_tolerance(self):
+        """The verification report fails when errors exceed tolerance."""
+        report = verify_method("burst", num_gpus=4, gpus_per_node=4,
+                               seq_len=32, n_heads=4, tolerance=1e-30)
+        assert not report.passed  # float64 noise > 1e-30
+        assert "FAIL" in report.summary()
+
+    def test_verify_method_passes_at_sane_tolerance(self):
+        report = verify_method("burst", num_gpus=4, gpus_per_node=4,
+                               seq_len=32, n_heads=4)
+        assert report.passed

@@ -1,0 +1,114 @@
+"""Low-precision robustness: the algorithmic rewrites must stay accurate
+when inputs live on the bf16 grid (as in the real system)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attention import get_method
+from repro.kernels import attention_reference, flash_attention_forward
+from repro.lmhead import fused_lm_head_loss, naive_lm_head_loss
+from repro.masks import CausalMask
+from repro.topology import a800_node, make_cluster
+from repro.utils.lowprec import bf16_eps, quantize_bf16, relative_error
+
+
+RNG = np.random.default_rng(21)
+
+
+class TestQuantizer:
+    def test_representable_values_unchanged(self):
+        # powers of two and small integers are exactly representable
+        x = np.array([1.0, 2.0, -0.5, 0.0, 256.0])
+        np.testing.assert_array_equal(quantize_bf16(x), x)
+
+    def test_rounding_error_bounded_by_eps(self):
+        x = RNG.normal(size=1000)
+        q = quantize_bf16(x)
+        rel = np.abs(q - x) / np.maximum(np.abs(x), 1e-30)
+        assert rel.max() <= bf16_eps() / 2 * 1.01
+
+    def test_round_to_nearest_even(self):
+        # 1 + 2^-8 sits exactly between 1 and 1 + 2^-7: ties to even -> 1
+        assert quantize_bf16(np.array([1.0 + 2.0**-8]))[0] == 1.0
+        # 1 + 3*2^-8 ties between 1 + 2^-7 and 1 + 2^-6: even -> 1 + 2^-6
+        assert quantize_bf16(np.array([1.0 + 3 * 2.0**-8]))[0] == 1.0 + 2.0**-6
+
+    @settings(deadline=None, max_examples=30)
+    @given(v=st.floats(-1e10, 1e10, allow_nan=False))
+    def test_idempotent(self, v):
+        once = quantize_bf16(np.array([v]))
+        twice = quantize_bf16(once)
+        np.testing.assert_array_equal(once, twice)
+
+
+class TestAlgorithmRobustness:
+    def test_online_softmax_stable_at_bf16(self):
+        """Tiled flash attention on bf16-grid inputs stays within a few
+        bf16-eps of the dense float64 result — the online merge does not
+        amplify rounding."""
+        n, d, h = 64, 16, 2
+        q = quantize_bf16(RNG.normal(size=(h, n, d)))
+        k = quantize_bf16(RNG.normal(size=(h, n, d)))
+        v = quantize_bf16(RNG.normal(size=(h, n, d)))
+        mask = CausalMask().dense(n)
+        o_tiled, _ = flash_attention_forward(q, k, v, mask=mask,
+                                             block_q=8, block_k=8)
+        o_dense, _ = attention_reference(q, k, v, mask=mask)
+        # same inputs -> exact agreement (the tiling itself is exact)
+        np.testing.assert_allclose(o_tiled, o_dense, rtol=1e-12, atol=1e-13)
+
+    def test_attention_output_error_scales_with_eps(self):
+        """Quantizing the inputs perturbs the output by O(eps), not worse."""
+        n, d, h = 48, 8, 2
+        q = RNG.normal(size=(h, n, d))
+        k = RNG.normal(size=(h, n, d))
+        v = RNG.normal(size=(h, n, d))
+        mask = CausalMask().dense(n)
+        o_exact, _ = attention_reference(q, k, v, mask=mask)
+        o_q, _ = attention_reference(
+            quantize_bf16(q), quantize_bf16(k), quantize_bf16(v), mask=mask
+        )
+        scale = np.abs(o_exact).max()
+        assert np.abs(o_q - o_exact).max() < 20 * bf16_eps() * scale
+
+    def test_burst_ring_no_extra_error_vs_dense(self):
+        """The distributed ring on bf16-grid inputs equals the dense
+        reference on the same inputs: the communication rewrite adds no
+        numerical hazard."""
+        topo = make_cluster(4, node=a800_node(gpus_per_node=4))
+        n, d, h = 64, 8, 2
+        q = quantize_bf16(RNG.normal(size=(h, n, d)))
+        k = quantize_bf16(RNG.normal(size=(h, n, d)))
+        v = quantize_bf16(RNG.normal(size=(h, n, d)))
+        do = quantize_bf16(RNG.normal(size=(h, n, d)))
+        method = get_method("burst", block_size=16)
+        res = method.run(topo, q, k, v, mask=CausalMask(), do=do)
+        from repro.kernels import attention_reference_backward
+
+        dense = CausalMask().dense(n)
+        o_ref, lse_ref = attention_reference(q, k, v, mask=dense)
+        dq_ref, _, _ = attention_reference_backward(
+            q, k, v, o_ref, lse_ref, do, mask=dense
+        )
+        np.testing.assert_allclose(res.o, o_ref, rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(res.dq, dq_ref, rtol=1e-9, atol=1e-11)
+
+    def test_fused_head_tiling_stable_at_bf16(self):
+        n, d, v = 40, 16, 64
+        h = quantize_bf16(RNG.normal(size=(n, d)))
+        w = quantize_bf16(RNG.normal(size=(v, d)) * 0.3)
+        y = RNG.integers(0, v, size=n)
+        fused = fused_lm_head_loss(h, w, y, block_seq=8, block_vocab=8)
+        naive = naive_lm_head_loss(h, w, y)
+        assert fused.loss == pytest.approx(naive.loss, rel=1e-12)
+
+    def test_large_magnitude_scores_no_overflow(self):
+        """Online softmax must survive bf16-scale score magnitudes (the
+        reason flash kernels track the running max)."""
+        n, d = 16, 4
+        q = np.full((n, d), 30.0)  # scores ~ 30*30*4/2 = 1800 pre-softmax
+        k = np.full((n, d), 30.0)
+        v = RNG.normal(size=(n, d))
+        o, lse = flash_attention_forward(q, k, v, block_q=4, block_k=4)
+        assert np.isfinite(o).all() and np.isfinite(lse).all()

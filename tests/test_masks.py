@@ -1,0 +1,136 @@
+"""Tests for mask patterns and block-sparse masks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.masks import (
+    BlockSparseMask,
+    CausalMask,
+    DilatedMask,
+    FullMask,
+    LocalGlobalMask,
+    SlidingWindowMask,
+    sliding_window_block_mask,
+)
+
+
+class TestBasicPatterns:
+    def test_full_mask_allows_everything(self):
+        m = FullMask()
+        assert m.dense(5).all()
+        assert m.num_allowed(np.arange(3), np.arange(4)) == 12
+
+    def test_causal_dense(self):
+        m = CausalMask().dense(4)
+        np.testing.assert_array_equal(m, np.tril(np.ones((4, 4), dtype=bool)))
+
+    def test_causal_total_allowed_closed_form(self):
+        m = CausalMask()
+        assert m.total_allowed(10) == 55
+        assert m.total_allowed(10) == int(m.dense(10).sum())
+
+    def test_causal_cross_shard_blocks(self):
+        m = CausalMask()
+        # queries at positions [4,5] vs keys at [0,1]: all allowed
+        assert m.tile_state(np.array([4, 5]), np.array([0, 1])) == "full"
+        # queries [0,1] vs keys [4,5]: all masked
+        assert m.tile_state(np.array([0, 1]), np.array([4, 5])) == "empty"
+        # diagonal tile: partial
+        assert m.tile_state(np.array([0, 1]), np.array([0, 1])) == "partial"
+
+    def test_sliding_window(self):
+        m = SlidingWindowMask(window=3)
+        d = m.dense(6)
+        assert d[5, 3] and d[5, 5]
+        assert not d[5, 2]          # outside window
+        assert not d[0, 1]          # future
+        with pytest.raises(ValueError):
+            SlidingWindowMask(0)
+
+    def test_sliding_window_row_counts(self):
+        m = SlidingWindowMask(window=4)
+        d = m.dense(10)
+        # after warm-up, every row has exactly `window` allowed keys
+        assert (d[4:].sum(axis=1) == 4).all()
+
+    def test_dilated(self):
+        m = DilatedMask(dilation=2)
+        d = m.dense(6)
+        assert d[4, 4] and d[4, 2] and d[4, 0]
+        assert not d[4, 3]
+        assert not d[2, 4]
+
+    def test_dilated_with_window(self):
+        m = DilatedMask(dilation=2, window=2)
+        d = m.dense(8)
+        assert d[6, 6] and d[6, 4]
+        assert not d[6, 2]  # beyond window*dilation reach
+
+    def test_local_global(self):
+        m = LocalGlobalMask(window=2, num_global=1)
+        d = m.dense(6)
+        assert d[5, 0]              # global token
+        assert d[5, 4] and d[5, 5]  # local window
+        assert not d[5, 2]
+        assert not d[0, 5]          # causality preserved
+
+
+class TestBlockSparse:
+    def test_block_mask_shape_validation(self):
+        with pytest.raises(ValueError):
+            BlockSparseMask(4, np.ones((2, 3), dtype=bool))
+
+    def test_block_structure(self):
+        bm = np.array([[1, 0], [1, 1]], dtype=bool)
+        m = BlockSparseMask(block_size=2, block_mask=bm, intra_block_causal=False)
+        d = m.dense(4)
+        assert d[0, 0] and d[1, 1] and not d[0, 2]
+        assert d[2, 0] and d[3, 3]
+
+    def test_intra_block_causal(self):
+        bm = np.ones((2, 2), dtype=bool)
+        m = BlockSparseMask(block_size=2, block_mask=bm, intra_block_causal=True)
+        d = m.dense(4)
+        np.testing.assert_array_equal(d, np.tril(np.ones((4, 4), dtype=bool)))
+
+    def test_out_of_range_index_rejected(self):
+        m = BlockSparseMask(2, np.ones((2, 2), dtype=bool))
+        with pytest.raises(ValueError):
+            m.block(np.array([5]), np.array([0]))
+
+    def test_sliding_window_block_mask_matches_expectation(self):
+        m = sliding_window_block_mask(seq_len=8, block_size=2, window_blocks=2)
+        # block i attends blocks {i-1, i}; token-causal inside.
+        d = m.dense(8)
+        assert d[4, 2]      # previous block
+        assert not d[4, 1]  # two blocks back
+        assert d[4, 4] and not d[4, 5]
+
+    def test_block_density(self):
+        m = sliding_window_block_mask(seq_len=16, block_size=2, window_blocks=1)
+        assert m.block_density() == pytest.approx(1 / 8)
+
+    def test_swa_block_equals_token_window_when_aligned(self):
+        # window_blocks=1 means "attend within own block only".
+        m = sliding_window_block_mask(seq_len=12, block_size=4, window_blocks=1)
+        d = m.dense(12)
+        assert d[5, 4] and not d[5, 3]
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        n_blocks=st.integers(1, 5),
+        block_size=st.integers(1, 4),
+        seed=st.integers(0, 1000),
+    )
+    def test_block_tile_consistency_property(self, n_blocks, block_size, seed):
+        """block() on sub-index arrays must agree with dense()."""
+        rng = np.random.default_rng(seed)
+        bm = rng.random((n_blocks, n_blocks)) > 0.5
+        m = BlockSparseMask(block_size, bm, intra_block_causal=True)
+        n = n_blocks * block_size
+        dense = m.dense(n)
+        q_idx = rng.choice(n, size=min(3, n), replace=False)
+        k_idx = rng.choice(n, size=min(3, n), replace=False)
+        tile = m.block(q_idx, k_idx)
+        np.testing.assert_array_equal(tile, dense[np.ix_(q_idx, k_idx)])

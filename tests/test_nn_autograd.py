@@ -1,0 +1,263 @@
+"""Tests for the autograd engine: op gradients vs finite differences,
+graph mechanics, and grad-mode handling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import Tensor, no_grad, ops
+from repro.nn.memory import get_tracker, reset_tracker
+
+
+RNG = np.random.default_rng(42)
+
+
+def finite_diff(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar fn wrt x."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        xp = x.copy(); xp[idx] += eps
+        xm = x.copy(); xm[idx] -= eps
+        grad[idx] = (fn(xp) - fn(xm)) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_unary(op, np_fn, shape=(3, 4), positive=False):
+    x = np.abs(RNG.normal(size=shape)) + 0.5 if positive else RNG.normal(size=shape)
+    t = Tensor(x, requires_grad=True)
+    out = op(t)
+    np.testing.assert_allclose(out.data, np_fn(x), rtol=1e-10)
+    out.sum().backward()
+    fd = finite_diff(lambda a: np_fn(a).sum(), x)
+    np.testing.assert_allclose(t.grad, fd, rtol=1e-5, atol=1e-8)
+
+
+class TestElementwiseOps:
+    def test_exp(self):
+        check_unary(ops.exp, np.exp)
+
+    def test_log(self):
+        check_unary(ops.log, np.log, positive=True)
+
+    def test_tanh(self):
+        check_unary(ops.tanh, np.tanh)
+
+    def test_silu(self):
+        check_unary(ops.silu, lambda a: a / (1 + np.exp(-a)))
+
+    def test_gelu_gradient(self):
+        x = RNG.normal(size=(2, 3))
+        t = Tensor(x, requires_grad=True)
+        ops.gelu(t).sum().backward()
+        c = np.sqrt(2 / np.pi)
+        ref = lambda a: (0.5 * a * (1 + np.tanh(c * (a + 0.044715 * a**3)))).sum()
+        np.testing.assert_allclose(t.grad, finite_diff(ref, x), rtol=1e-5, atol=1e-8)
+
+    def test_pow(self):
+        x = np.abs(RNG.normal(size=(4,))) + 0.1
+        t = Tensor(x, requires_grad=True)
+        (t ** -0.5).sum().backward()
+        np.testing.assert_allclose(
+            t.grad, finite_diff(lambda a: (a**-0.5).sum(), x), rtol=1e-5
+        )
+
+
+class TestBinaryOps:
+    def test_add_broadcast(self):
+        a = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(4,)), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((3, 4)))
+        np.testing.assert_allclose(b.grad, np.full(4, 3.0))
+
+    def test_mul_broadcast_keepdim(self):
+        a = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(3, 1)), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.broadcast_to(b.data, (3, 4)))
+        np.testing.assert_allclose(b.grad, a.data.sum(axis=1, keepdims=True))
+
+    def test_sub_and_div(self):
+        a = Tensor(np.array([4.0, 9.0]), requires_grad=True)
+        b = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        ((a - b) / b).sum().backward()
+        np.testing.assert_allclose(a.grad, 1 / b.data)
+        np.testing.assert_allclose(b.grad, -a.data / b.data**2)
+
+    def test_matmul_grads(self):
+        a_np = RNG.normal(size=(3, 4))
+        b_np = RNG.normal(size=(4, 5))
+        a = Tensor(a_np, requires_grad=True)
+        b = Tensor(b_np, requires_grad=True)
+        (a @ b).sum().backward()
+        g = np.ones((3, 5))
+        np.testing.assert_allclose(a.grad, g @ b_np.T)
+        np.testing.assert_allclose(b.grad, a_np.T @ g)
+
+    def test_batched_matmul_broadcast(self):
+        a = Tensor(RNG.normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(4, 5)), requires_grad=True)
+        out = a @ b
+        assert out.shape == (2, 3, 5)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+        assert b.grad.shape == (4, 5)
+
+
+class TestShapeOps:
+    def test_reshape_swapaxes_roundtrip(self):
+        x = Tensor(RNG.normal(size=(2, 6)), requires_grad=True)
+        y = x.reshape((2, 3, 2)).swapaxes(0, 1)
+        assert y.shape == (3, 2, 2)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 6)))
+
+    def test_getitem_scatter_grad(self):
+        x = Tensor(RNG.normal(size=(5, 3)), requires_grad=True)
+        x[1:3].sum().backward()
+        expected = np.zeros((5, 3))
+        expected[1:3] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_concat_splits_grad(self):
+        a = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(4, 3)), requires_grad=True)
+        out = ops.concat([a, b], axis=0)
+        grad = RNG.normal(size=(6, 3))
+        out.backward(grad)
+        np.testing.assert_allclose(a.grad, grad[:2])
+        np.testing.assert_allclose(b.grad, grad[2:])
+
+    def test_sum_axis_keepdims(self):
+        x = Tensor(RNG.normal(size=(2, 3, 4)), requires_grad=True)
+        x.sum(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3, 4)))
+
+    def test_mean_grad(self):
+        x = Tensor(RNG.normal(size=(4, 5)), requires_grad=True)
+        x.mean(axis=-1, keepdims=True).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((4, 5), 0.2))
+
+    def test_embedding_accumulates_repeated_ids(self):
+        table = Tensor(RNG.normal(size=(10, 4)), requires_grad=True)
+        out = ops.embedding(table, np.array([1, 1, 3]))
+        out.sum().backward()
+        assert table.grad[1, 0] == pytest.approx(2.0)
+        assert table.grad[3, 0] == pytest.approx(1.0)
+        assert table.grad[0, 0] == 0.0
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_across_uses(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x + x  # x used three times
+        y.backward(np.array([1.0]))
+        assert x.grad[0] == pytest.approx(2 * 2.0 + 1.0)
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        a = x * 2.0
+        b = x * 5.0
+        (a + b).backward(np.array([1.0]))
+        assert x.grad[0] == pytest.approx(7.0)
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert y._ctx is None
+        assert not y.requires_grad
+
+    def test_backward_requires_scalar_or_grad(self):
+        x = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_backward_on_nograd_tensor_raises(self):
+        x = Tensor(np.array([1.0]))
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = (x * 3.0).detach()
+        assert not y.requires_grad
+
+    def test_saved_bytes_released_after_backward(self):
+        reset_tracker()
+        x = Tensor(RNG.normal(size=(64, 64)), requires_grad=True)
+        y = ops.exp(x) @ ops.exp(x.swapaxes(0, 1))
+        assert get_tracker().current_saved_bytes > 0
+        y.sum().backward()
+        assert get_tracker().current_saved_bytes == 0
+        assert get_tracker().peak_saved_bytes > 0
+
+    def test_rms_norm_matches_reference(self):
+        x_np = RNG.normal(size=(5, 8))
+        w_np = RNG.normal(size=(8,))
+        x = Tensor(x_np, requires_grad=True)
+        w = Tensor(w_np, requires_grad=True)
+        out = ops.rms_norm(x, w)
+        ref = x_np / np.sqrt((x_np**2).mean(-1, keepdims=True) + 1e-6) * w_np
+        np.testing.assert_allclose(out.data, ref, rtol=1e-12)
+        out.sum().backward()
+        fd = finite_diff(
+            lambda a: (a / np.sqrt((a**2).mean(-1, keepdims=True) + 1e-6) * w_np).sum(),
+            x_np,
+        )
+        np.testing.assert_allclose(x.grad, fd, rtol=1e-5, atol=1e-8)
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        m=st.integers(1, 5), k=st.integers(1, 5), n=st.integers(1, 5),
+        seed=st.integers(0, 10_000),
+    )
+    def test_matmul_grad_property(self, m, k, n, seed):
+        rng = np.random.default_rng(seed)
+        a_np, b_np = rng.normal(size=(m, k)), rng.normal(size=(k, n))
+        g = rng.normal(size=(m, n))
+        a, b = Tensor(a_np, requires_grad=True), Tensor(b_np, requires_grad=True)
+        (a @ b).backward(g)
+        np.testing.assert_allclose(a.grad, g @ b_np.T, rtol=1e-10)
+        np.testing.assert_allclose(b.grad, a_np.T @ g, rtol=1e-10)
+
+
+class TestDropout:
+    def test_eval_mode_identity(self):
+        x = Tensor(RNG.normal(size=(4, 4)), requires_grad=True)
+        y = ops.dropout(x, p=0.5, training=False)
+        np.testing.assert_array_equal(y.data, x.data)
+
+    def test_train_mode_zeroes_and_rescales(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)), requires_grad=True)
+        y = ops.dropout(x, p=0.25, training=True, rng=rng)
+        kept = y.data != 0
+        assert 0.70 < kept.mean() < 0.80          # ~75% survive
+        np.testing.assert_allclose(y.data[kept], 1 / 0.75)
+        assert y.data.mean() == pytest.approx(1.0, abs=0.02)  # unbiased
+
+    def test_backward_uses_same_mask(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(RNG.normal(size=(50, 50)), requires_grad=True)
+        y = ops.dropout(x, p=0.5, training=True, rng=rng)
+        y.sum().backward()
+        zero_out = y.data == 0
+        assert (x.grad[zero_out] == 0).all()
+        np.testing.assert_allclose(x.grad[~zero_out], 2.0)
+
+    def test_seeded_determinism(self):
+        x = Tensor(RNG.normal(size=(10, 10)))
+        a = ops.dropout(x, p=0.3, rng=np.random.default_rng(7)).data
+        b = ops.dropout(x, p=0.3, rng=np.random.default_rng(7)).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_p(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(ValueError):
+            ops.dropout(x, p=1.0)
+        with pytest.raises(ValueError):
+            ops.dropout(x, p=-0.1, training=False)

@@ -1,0 +1,67 @@
+"""Tests for the traffic-to-time profiling bridge."""
+
+import numpy as np
+import pytest
+
+from repro.attention import get_method
+from repro.comm import SimCommunicator
+from repro.masks import CausalMask
+from repro.perf.profile import profile_report, profile_traffic
+from repro.topology import LinkClass, a800_node, make_cluster
+
+
+TOPO = make_cluster(8, node=a800_node(gpus_per_node=4))
+
+
+def run_burst_pass():
+    rng = np.random.default_rng(0)
+    q, k, v, do = (rng.normal(size=(2, 64, 8)) for _ in range(4))
+    method = get_method("burst", block_size=16)
+    res = method.run(TOPO, q, k, v, mask=CausalMask(), do=do)
+    return res.comm.log
+
+
+class TestProfile:
+    def test_phases_present(self):
+        profiles = profile_traffic(run_burst_pass(), TOPO)
+        assert {"attn-fwd", "attn-bwd"} <= set(profiles)
+
+    def test_bytes_match_log_totals(self):
+        log = run_burst_pass()
+        profiles = profile_traffic(log, TOPO)
+        for phase, prof in profiles.items():
+            assert prof.total_bytes == log.total_bytes(phase=phase)
+
+    def test_busy_time_positive_and_link_split(self):
+        profiles = profile_traffic(run_burst_pass(), TOPO)
+        fwd = profiles["attn-fwd"]
+        assert LinkClass.INTRA in fwd.bytes_by_link
+        assert LinkClass.INTER in fwd.bytes_by_link
+        assert fwd.bound_time > 0
+
+    def test_intra_busy_time_consistent_with_volume(self):
+        """Busiest-rank intra time == count * latency + bytes / bandwidth
+        (at test scale the per-message latency dominates)."""
+        log = run_burst_pass()
+        profiles = profile_traffic(log, TOPO)
+        fwd = profiles["attn-fwd"]
+        per_rank = {}
+        for rec in log.records:
+            if rec.phase == "attn-fwd" and rec.link is LinkClass.INTRA:
+                nbytes, count = per_rank.get(rec.src, (0, 0))
+                per_rank[rec.src] = (nbytes + rec.nbytes, count + 1)
+        link = TOPO.node.intra_link
+        expected = max(
+            count * link.latency + nbytes / link.bandwidth
+            for nbytes, count in per_rank.values()
+        )
+        assert fwd.busy_time_by_link[LinkClass.INTRA] == pytest.approx(expected)
+
+    def test_report_renders(self):
+        text = profile_report(run_burst_pass(), TOPO)
+        assert "attn-fwd" in text and "intra" in text and "ms" in text
+
+    def test_empty_log(self):
+        from repro.comm.traffic import TrafficLog
+
+        assert profile_traffic(TrafficLog(), TOPO) == {}

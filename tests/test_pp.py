@@ -1,0 +1,146 @@
+"""Pipeline parallelism: numeric equivalence, boundary traffic, and the
+GPipe / 1F1B timing models."""
+
+import numpy as np
+import pytest
+
+from repro.comm import SimCommunicator
+from repro.nn import Adam, TransformerConfig, TransformerLM
+from repro.pp import (
+    PipelinedLM,
+    gpipe_bubble_fraction,
+    in_flight_microbatches,
+    pipeline_step_time,
+)
+from repro.pp.schedule import pipeline_efficiency
+from repro.topology import a800_node, make_cluster
+
+
+RNG = np.random.default_rng(41)
+TOPO = make_cluster(4, node=a800_node(gpus_per_node=4))
+
+
+def cfg(**kw):
+    base = dict(vocab_size=32, dim=16, n_layers=4, n_heads=2, ffn_hidden=24,
+                max_seq_len=32, attn_block_size=16, seed=6)
+    base.update(kw)
+    return TransformerConfig(**base)
+
+
+def batch(s=16, seed=0):
+    rng = np.random.default_rng(seed)
+    ids = rng.integers(0, 32, size=s)
+    return ids, np.roll(ids, -1)
+
+
+class TestNumericPipeline:
+    def test_loss_and_grads_equal_unsharded(self):
+        ids, targets = batch()
+        plain = TransformerLM(cfg())
+        loss_ref = plain(ids, targets)
+        loss_ref.backward()
+        ref = {n: p.grad.copy() for n, p in plain.named_parameters()}
+
+        model = TransformerLM(cfg())
+        pipe = PipelinedLM(model, SimCommunicator(TOPO), num_stages=4)
+        loss = pipe.forward(ids, targets)
+        loss.backward()
+        assert loss.item() == pytest.approx(loss_ref.item(), rel=1e-12)
+        for name, p in model.named_parameters():
+            np.testing.assert_allclose(p.grad, ref[name], rtol=1e-10,
+                                       atol=1e-12, err_msg=name)
+
+    def test_train_step_equals_grad_accumulation(self):
+        micro = [batch(seed=i) for i in range(3)]
+
+        plain = TransformerLM(cfg())
+        opt = Adam(plain.parameters(), lr=1e-3)
+        opt.zero_grad()
+        for ids, targets in micro:
+            plain(ids, targets).backward(np.asarray(1.0 / 3))
+        opt.step()
+        ref = {n: p.data.copy() for n, p in plain.named_parameters()}
+
+        model = TransformerLM(cfg())
+        pipe = PipelinedLM(model, SimCommunicator(TOPO), num_stages=2)
+        opt2 = Adam(model.parameters(), lr=1e-3)
+        pipe.train_step(micro, opt2)
+        for name, p in model.named_parameters():
+            np.testing.assert_allclose(p.data, ref[name], rtol=1e-12,
+                                       err_msg=name)
+
+    def test_boundary_traffic_volume(self):
+        ids, targets = batch(s=16)
+        comm = SimCommunicator(TOPO)
+        pipe = PipelinedLM(TransformerLM(cfg()), comm, num_stages=4)
+        loss = pipe.forward(ids, targets)
+        loss.backward()
+        # 3 boundaries x (S x D) activations, forward and backward each
+        expected = 3 * 16 * 16
+        assert comm.log.total_elems(phase="pp-fwd") == expected
+        assert comm.log.total_elems(phase="pp-bwd") == expected
+
+    def test_stage_partition_validation(self):
+        model = TransformerLM(cfg(n_layers=4))
+        with pytest.raises(ValueError, match="divisible"):
+            PipelinedLM(model, SimCommunicator(TOPO), num_stages=3)
+        model8 = TransformerLM(cfg(n_layers=8))
+        with pytest.raises(ValueError, match="ranks"):
+            PipelinedLM(model8, SimCommunicator(TOPO), num_stages=8)
+
+    def test_empty_microbatches_rejected(self):
+        pipe = PipelinedLM(TransformerLM(cfg()), SimCommunicator(TOPO),
+                           num_stages=2)
+        with pytest.raises(ValueError):
+            pipe.train_step([], Adam(pipe.model.parameters()))
+
+
+class TestScheduleModels:
+    def test_bubble_formula(self):
+        assert gpipe_bubble_fraction(4, 1) == pytest.approx(3 / 4)
+        assert gpipe_bubble_fraction(4, 16) == pytest.approx(3 / 19)
+        assert gpipe_bubble_fraction(1, 8) == 0.0
+
+    def test_des_matches_bubble_formula_gpipe(self):
+        """With equal fwd/bwd chunks and no comm, the DES makespan equals
+        (M + P - 1) slots of (fwd+bwd) work spread per the formula."""
+        p, m, t = 4, 8, 1.0
+        makespan = pipeline_step_time(p, m, t, t, 0.0, schedule="gpipe")
+        ideal = m * 2 * t
+        eff = ideal / makespan
+        assert eff == pytest.approx(1 - gpipe_bubble_fraction(p, m), rel=0.01)
+
+    def test_1f1b_same_makespan_less_memory(self):
+        p, m, t = 4, 8, 1.0
+        t_gpipe = pipeline_step_time(p, m, t, t, 0.0, schedule="gpipe")
+        t_1f1b = pipeline_step_time(p, m, t, t, 0.0, schedule="1f1b")
+        assert t_1f1b <= t_gpipe * 1.01
+        assert in_flight_microbatches(p, m, "1f1b") == 4
+        assert in_flight_microbatches(p, m, "gpipe") == 8
+
+    def test_more_microbatches_higher_efficiency(self):
+        effs = [pipeline_efficiency(4, m, 1.0) for m in (1, 4, 16)]
+        assert effs == sorted(effs)
+        assert effs[0] == pytest.approx(0.25, rel=0.05)  # 1 microbatch: 1/P
+
+    def test_comm_reduces_efficiency(self):
+        fast = pipeline_efficiency(4, 8, 1.0, t_comm=0.0)
+        slow = pipeline_efficiency(4, 8, 1.0, t_comm=0.5)
+        assert slow < fast
+
+    def test_single_stage_no_bubble(self):
+        assert pipeline_efficiency(1, 4, 1.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gpipe_bubble_fraction(0, 4)
+        with pytest.raises(ValueError):
+            pipeline_step_time(2, 2, 1.0, schedule="2f2b")
+        with pytest.raises(ValueError):
+            in_flight_microbatches(2, 2, "nope")
+
+    def test_long_context_implication(self):
+        """One 1M-token sequence = one microbatch: pipeline efficiency
+        collapses to ~1/P — the reason the paper shards the sequence."""
+        eff = pipeline_efficiency(8, 1, 1.0)
+        assert eff == pytest.approx(1 / 8, rel=0.05)

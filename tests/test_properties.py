@@ -1,0 +1,223 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These stress the core invariants on randomly drawn configurations:
+topology shapes, masks, partitions, DES task graphs, and the memory
+model's monotonicity.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attention.burst import burst_attention_backward
+from repro.attention.ring import ring_attention_backward_kv, ring_attention_forward
+from repro.attention.verify import verify_method
+from repro.comm import SimCommunicator, double_ring_schedule, global_ring_schedule
+from repro.masks import CausalMask, SlidingWindowMask
+from repro.models import LLAMA_7B
+from repro.partition import StripedPartitioner, ZigzagPartitioner
+from repro.perf.des import Simulator
+from repro.perf.memory import MemoryModel, TrainingSetup
+from repro.topology import a800_node, make_cluster
+
+
+topo_shapes = st.sampled_from([(1, 4), (2, 2), (2, 4), (4, 2), (3, 3)])
+
+
+class TestScheduleProperties:
+    @settings(deadline=None, max_examples=10)
+    @given(shape=topo_shapes)
+    def test_double_ring_is_complete_cover(self, shape):
+        nodes, gpn = shape
+        topo = make_cluster(nodes * gpn, node=a800_node(gpus_per_node=gpn))
+        sched = double_ring_schedule(topo)
+        sched.validate()
+        origins = sched.origins()
+        g = topo.world_size
+        for rank in range(g):
+            assert sorted(origins[t][rank] for t in range(g)) == list(range(g))
+
+    @settings(deadline=None, max_examples=10)
+    @given(shape=topo_shapes)
+    def test_return_permutation_is_permutation(self, shape):
+        nodes, gpn = shape
+        topo = make_cluster(nodes * gpn, node=a800_node(gpus_per_node=gpn))
+        for sched in (global_ring_schedule(topo), double_ring_schedule(topo)):
+            perm = sched.return_permutation()
+            assert sorted(perm) == list(range(topo.world_size))
+
+    @settings(deadline=None, max_examples=8)
+    @given(shape=topo_shapes, seed=st.integers(0, 100))
+    def test_ring_buffers_return_home(self, shape, seed):
+        """After all transitions + the return permutation, every buffer is
+        back at its owner — the invariant Algorithms 1 and 2 rely on."""
+        nodes, gpn = shape
+        topo = make_cluster(nodes * gpn, node=a800_node(gpus_per_node=gpn))
+        comm = SimCommunicator(topo)
+        sched = double_ring_schedule(topo)
+        g = topo.world_size
+        bufs = [np.array([float(r)]) for r in range(g)]
+        for t in range(len(sched.transitions)):
+            bufs = sched.apply(comm, bufs, t, phase="p")
+        bufs = comm.exchange(bufs, sched.return_permutation(), phase="p")
+        for r in range(g):
+            assert bufs[r][0] == float(r)
+
+
+class TestAlgorithmEquivalenceProperty:
+    @settings(deadline=None, max_examples=6)
+    @given(
+        seed=st.integers(0, 2**16),
+        window=st.sampled_from([None, 8, 24]),
+        heads=st.sampled_from([1, 2]),
+    )
+    def test_alg1_equals_alg2_random_problems(self, seed, window, heads):
+        topo = make_cluster(4, node=a800_node(gpus_per_node=4))
+        g = 4
+        n, d = 32, 4
+        rng = np.random.default_rng(seed)
+        q, k, v, do = (rng.normal(size=(heads, n, d)) for _ in range(4))
+        mask = SlidingWindowMask(window) if window else CausalMask()
+        part = StripedPartitioner()
+        idxs = part.indices(n, g)
+        sh = lambda x: part.scatter(x, g)
+        comm = SimCommunicator(topo)
+        sched = global_ring_schedule(topo)
+        os, lses = ring_attention_forward(
+            comm, sched, sh(q), sh(k), sh(v), idxs, mask=mask, block_size=8
+        )
+        out1 = ring_attention_backward_kv(
+            comm, sched, sh(q), sh(k), sh(v), os, lses, sh(do), idxs,
+            mask=mask, block_size=8)
+        out2 = burst_attention_backward(
+            comm, sched, sh(q), sh(k), sh(v), os, lses, sh(do), idxs,
+            mask=mask, block_size=8)
+        for a_list, b_list in zip(out1, out2):
+            for a, b in zip(a_list, b_list):
+                np.testing.assert_allclose(a, b, rtol=1e-9, atol=1e-11)
+
+    @settings(deadline=None, max_examples=5)
+    @given(
+        method=st.sampled_from(["burst", "megatron-cp", "loongtrain-double"]),
+        seed=st.integers(0, 1000),
+    )
+    def test_verify_method_random_seeds(self, method, seed):
+        report = verify_method(method, num_gpus=4, gpus_per_node=2,
+                               seq_len=32, n_heads=4, seed=seed)
+        assert report.passed, report.summary()
+
+
+class TestCollectiveProperties:
+    @settings(deadline=None, max_examples=10)
+    @given(shape=topo_shapes, seed=st.integers(0, 1000))
+    def test_all_gather_reduce_scatter_duality(self, shape, seed):
+        """reduce_scatter of all-gathered shards recovers G * shard."""
+        nodes, gpn = shape
+        topo = make_cluster(nodes * gpn, node=a800_node(gpus_per_node=gpn))
+        comm = SimCommunicator(topo)
+        g = topo.world_size
+        rng = np.random.default_rng(seed)
+        shards = [rng.normal(size=(2,)) for _ in range(g)]
+        gathered = comm.all_gather(shards, phase="t")
+        contributions = [
+            [gathered[r][2 * j : 2 * j + 2] for j in range(g)] for r in range(g)
+        ]
+        out = comm.reduce_scatter(contributions, phase="t")
+        for j in range(g):
+            np.testing.assert_allclose(out[j], g * shards[j], rtol=1e-12)
+
+    @settings(deadline=None, max_examples=10)
+    @given(shape=topo_shapes, seed=st.integers(0, 1000))
+    def test_all_to_all_involution(self, shape, seed):
+        """Applying all-to-all twice returns every chunk to its origin."""
+        nodes, gpn = shape
+        topo = make_cluster(nodes * gpn, node=a800_node(gpus_per_node=gpn))
+        comm = SimCommunicator(topo)
+        g = topo.world_size
+        rng = np.random.default_rng(seed)
+        chunks = [[rng.normal(size=(2,)) for _ in range(g)] for _ in range(g)]
+        once = comm.all_to_all(chunks, phase="t")
+        twice = comm.all_to_all(once, phase="t")
+        for r in range(g):
+            for j in range(g):
+                np.testing.assert_array_equal(twice[r][j], chunks[r][j])
+
+
+class TestDESProperties:
+    @settings(deadline=None, max_examples=15)
+    @given(
+        durations=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=8),
+        share_resource=st.booleans(),
+        seed=st.integers(0, 100),
+    )
+    def test_makespan_bounds(self, durations, share_resource, seed):
+        """makespan >= critical path AND >= per-resource total load;
+        for a single shared resource makespan == sum of durations."""
+        rng = np.random.default_rng(seed)
+        sim = Simulator()
+        prev = None
+        for i, dur in enumerate(durations):
+            res = ("r",) if share_resource else (f"r{i}",)
+            deps = []
+            if prev is not None and rng.random() < 0.5:
+                deps = [prev]
+            sim.add(f"t{i}", dur, resources=res, deps=deps)
+            prev = f"t{i}"
+        makespan = sim.run()
+        assert makespan >= sim.critical_path_lower_bound() - 1e-9
+        if share_resource:
+            assert makespan == pytest.approx(sum(durations), rel=1e-9, abs=1e-9)
+
+    @settings(deadline=None, max_examples=10)
+    @given(n=st.integers(1, 6), ta=st.floats(0.1, 5), tb=st.floats(0.1, 5))
+    def test_two_stage_pipeline_formula(self, n, ta, tb):
+        sim = Simulator()
+        for i in range(n):
+            deps_a = [f"a{i-1}"] if i else []
+            sim.add(f"a{i}", ta, resources=["A"], deps=deps_a)
+            sim.add(f"b{i}", tb, resources=["B"], deps=[f"a{i}"] + ([f"b{i-1}"] if i else []))
+        expected = ta + max((n - 1) * ta, (n - 1) * tb) + tb
+        assert sim.run() == pytest.approx(expected, rel=1e-9)
+
+
+class TestMemoryModelProperties:
+    @settings(deadline=None, max_examples=15)
+    @given(
+        seq=st.sampled_from([65536, 131072, 262144]),
+        world=st.sampled_from([8, 16, 32]),
+    )
+    def test_activation_memory_linear_in_sequence(self, seq, world):
+        mm = MemoryModel()
+        a = mm.activation_bytes(TrainingSetup(model=LLAMA_7B, seq_len=seq,
+                                              world=world))
+        b = mm.activation_bytes(TrainingSetup(model=LLAMA_7B, seq_len=2 * seq,
+                                              world=world))
+        assert b == pytest.approx(2 * a, rel=1e-9)
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        seq=st.sampled_from([65536, 262144]),
+        world=st.sampled_from([8, 32]),
+        offload=st.booleans(),
+        head=st.sampled_from(["naive", "tiled", "fused"]),
+    )
+    def test_total_decomposes_and_positive(self, seq, world, offload, head):
+        mm = MemoryModel()
+        bd = mm.breakdown(TrainingSetup(
+            model=LLAMA_7B, seq_len=seq, world=world,
+            optimizer_offload=offload, head_mode=head,
+        ))
+        parts = (bd.params + bd.grads + bd.optimizer + bd.activations
+                 + bd.lm_head + bd.transient)
+        assert bd.total == pytest.approx(parts)
+        assert bd.total > 0
+
+    @settings(deadline=None, max_examples=10)
+    @given(seq=st.sampled_from([65536, 262144]))
+    def test_fused_head_never_worse(self, seq):
+        mm = MemoryModel()
+        fused = mm.breakdown(TrainingSetup(model=LLAMA_7B, seq_len=seq,
+                                           world=8, head_mode="fused"))
+        naive = mm.breakdown(TrainingSetup(model=LLAMA_7B, seq_len=seq,
+                                           world=8, head_mode="naive"))
+        assert fused.total <= naive.total

@@ -1,0 +1,122 @@
+"""Public-API smoke tests: top-level exports, README snippets, and the
+remaining accessor edges."""
+
+import numpy as np
+import pytest
+
+
+class TestTopLevelExports:
+    def test_all_symbols_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+
+class TestReadmeSnippets:
+    def test_quickstart_snippet(self):
+        """The README's first code block, verbatim semantics."""
+        import numpy as np
+        from repro.engine import BurstEngine, EngineConfig
+        from repro.nn import TransformerConfig
+        from repro.topology import make_cluster, a800_node
+
+        engine = BurstEngine(
+            EngineConfig(model=TransformerConfig(
+                vocab_size=128, dim=32, n_layers=2, n_heads=4,
+                ffn_hidden=64, max_seq_len=128)),
+            topology=make_cluster(8, node=a800_node(gpus_per_node=4)),
+        )
+        ids = np.random.default_rng(0).integers(0, 128, size=64)
+        result = engine.train_step(ids, np.roll(ids, -1))
+        assert np.isfinite(result.loss)
+        assert result.step_comm_bytes > 0
+        assert result.peak_activation_bytes > 0
+
+    def test_method_snippet(self):
+        from repro.attention import get_method
+        from repro.masks import CausalMask
+        from repro.topology import make_cluster
+
+        rng = np.random.default_rng(1)
+        q, k, v, grad_out = (rng.normal(size=(8, 64, 8)) for _ in range(4))
+        method = get_method("burst", block_size=16)
+        res = method.run(make_cluster(8), q, k, v, mask=CausalMask(),
+                         do=grad_out)
+        assert res.o.shape == q.shape
+        assert res.dq is not None
+        assert "attn-fwd" in res.comm.log.summary()
+        assert res.traffic is res.comm.log
+
+    def test_perf_snippet(self):
+        from repro.models import LLAMA_14B
+        from repro.perf import end_to_end_step
+        from repro.topology import make_cluster
+
+        r = end_to_end_step(LLAMA_14B, make_cluster(32), 1 << 20,
+                            method="burst", checkpoint="sequence_level",
+                            head_mode="fused")
+        # the README's headline numbers
+        assert r.tgs == pytest.approx(106.1, rel=0.02)
+        assert r.mfu == pytest.approx(0.465, rel=0.02)
+        assert r.memory.total_gb == pytest.approx(34.8, rel=0.02)
+
+
+class TestRemainingAccessors:
+    def test_engine_config_resolved_model(self):
+        from repro.engine import EngineConfig
+        from repro.nn import CheckpointPolicy, TransformerConfig
+        from repro.nn.checkpoint import CheckpointMode
+
+        cfg = EngineConfig(
+            model=TransformerConfig(head_impl="naive"),
+            checkpoint=CheckpointPolicy(CheckpointMode.FULL),
+            head_impl="fused",
+        )
+        resolved = cfg.resolved_model()
+        assert resolved.head_impl == "fused"
+        assert resolved.checkpoint.mode is CheckpointMode.FULL
+        # original untouched
+        assert cfg.model.head_impl == "naive"
+
+    def test_step_result_fsdp_matches_formula(self):
+        from repro.engine import BurstEngine, EngineConfig, fsdp_step_traffic
+        from repro.nn import TransformerConfig
+        from repro.topology import a800_node, make_cluster
+
+        topo = make_cluster(4, node=a800_node(gpus_per_node=4))
+        engine = BurstEngine(
+            EngineConfig(model=TransformerConfig(
+                vocab_size=32, dim=16, n_layers=1, n_heads=2, ffn_hidden=24,
+                max_seq_len=32, attn_block_size=16)),
+            topology=topo,
+        )
+        ids = np.arange(16) % 32
+        res = engine.train_step(ids, np.roll(ids, -1))
+        expected = fsdp_step_traffic(engine.param_bytes, 4, gather_passes=2)
+        assert res.fsdp.allgather_bytes == expected.allgather_bytes
+        assert res.fsdp.reduce_scatter_bytes == expected.reduce_scatter_bytes
+
+    def test_model_spec_ffn_sizing(self):
+        from repro.models import LLAMA_7B, ModelSpec
+
+        assert LLAMA_7B.ffn == 11008  # LLaMA-1 7B's actual FFN width
+        explicit = ModelSpec(name="x", n_layers=1, n_heads=2, hidden=64,
+                             vocab=10, ffn_hidden=123)
+        assert explicit.ffn == 123
+
+    def test_trace_timeline_sorted(self):
+        from repro.perf.des import Simulator
+
+        sim = Simulator()
+        sim.add("b", 1.0, resources=["r"])
+        sim.add("a", 1.0, resources=["r"], deps=["b"])
+        sim.run()
+        timeline = sim.timeline()
+        assert [t.name for t in timeline] == ["b", "a"]
+        assert timeline[0].start <= timeline[1].start

@@ -1,0 +1,87 @@
+"""The inner-ring window-size ablation (LoongTrain's tunable; the paper's
+node-aligned choice should be optimal)."""
+
+import numpy as np
+import pytest
+
+from repro.attention.ring import ring_attention_forward
+from repro.comm import SimCommunicator, double_ring_schedule
+from repro.kernels import attention_reference
+from repro.masks import CausalMask
+from repro.partition import StripedPartitioner
+from repro.perf.schedules.attention import AttentionWorkload, attention_pass_time
+from repro.topology import LinkClass, a800_node, make_cluster
+
+
+TOPO = make_cluster(16, node=a800_node(gpus_per_node=4))
+
+
+class TestWindowedSchedules:
+    @pytest.mark.parametrize("window", [1, 2, 4, 8, 16])
+    def test_any_divisor_window_is_valid_cover(self, window):
+        sched = double_ring_schedule(TOPO, window=window)
+        sched.validate()
+        assert sched.num_steps == 16
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            double_ring_schedule(TOPO, window=3)
+        with pytest.raises(ValueError):
+            double_ring_schedule(TOPO, window=0)
+
+    def test_window_world_equals_global_ring(self):
+        sched = double_ring_schedule(TOPO, window=16)
+        # every transition is the single global ring
+        for rings in sched.transitions:
+            assert len(rings) == 1 and len(rings[0]) == 16
+
+    @pytest.mark.parametrize("window", [2, 4, 8])
+    def test_numerics_correct_for_any_window(self, window):
+        """Correctness must be schedule-independent."""
+        rng = np.random.default_rng(0)
+        n, d, h = 64, 8, 2
+        q, k, v = (rng.normal(size=(h, n, d)) for _ in range(3))
+        part = StripedPartitioner()
+        idxs = part.indices(n, 16)
+        comm = SimCommunicator(TOPO)
+        os, _ = ring_attention_forward(
+            comm, double_ring_schedule(TOPO, window=window),
+            part.scatter(q, 16), part.scatter(k, 16), part.scatter(v, 16),
+            idxs, mask=CausalMask(), block_size=8,
+        )
+        o_ref, _ = attention_reference(q, k, v, mask=CausalMask().dense(n))
+        np.testing.assert_allclose(part.gather(os), o_ref, rtol=1e-9,
+                                   atol=1e-11)
+
+    def test_node_window_minimises_inter_traffic(self):
+        """Measured inter-node bytes across window sizes: node-aligned (4)
+        is the minimum; smaller windows cross nodes more often, larger
+        ones put inner hops on the inter link."""
+        rng = np.random.default_rng(1)
+        n, d = 64, 8
+        q, k, v = (rng.normal(size=(1, n, d)) for _ in range(3))
+        part = StripedPartitioner()
+        idxs = part.indices(n, 16)
+        inter = {}
+        for window in (1, 2, 4, 8, 16):
+            comm = SimCommunicator(TOPO)
+            ring_attention_forward(
+                comm, double_ring_schedule(TOPO, window=window),
+                part.scatter(q, 16), part.scatter(k, 16),
+                part.scatter(v, 16), idxs, block_size=8,
+            )
+            inter[window] = comm.log.total_bytes(link=LinkClass.INTER)
+        assert inter[4] == min(inter.values())
+        assert inter[1] > inter[4]
+        assert inter[16] > inter[4]
+
+    def test_node_window_fastest_in_des(self):
+        """DES pass time across windows: the node-aligned window wins."""
+        wl = AttentionWorkload(seq_len=1 << 20, hidden=5120, n_heads=40)
+        topo = make_cluster(32)
+        times = {
+            w: attention_pass_time("burst", topo, wl, backward=True,
+                                   ring_window=w)
+            for w in (2, 4, 8, 16, 32)
+        }
+        assert times[8] == min(times.values())  # gpus_per_node == 8

@@ -1,0 +1,112 @@
+"""Tests for cluster topology: rank placement, link classes, ring helpers."""
+
+import pytest
+
+from repro.topology import (
+    A800_GPU,
+    ClusterTopology,
+    LinkClass,
+    a800_node,
+    a100_node,
+    make_cluster,
+)
+
+
+class TestGeometry:
+    def test_world_size(self):
+        topo = ClusterTopology(num_nodes=4, node=a800_node())
+        assert topo.world_size == 32
+        assert topo.gpus_per_node == 8
+
+    def test_node_and_local_rank(self):
+        topo = ClusterTopology(num_nodes=2, node=a800_node(gpus_per_node=4))
+        assert topo.node_of(0) == 0
+        assert topo.node_of(3) == 0
+        assert topo.node_of(4) == 1
+        assert topo.local_rank(5) == 1
+        assert topo.local_rank(7) == 3
+
+    def test_rank_bounds_checked(self):
+        topo = ClusterTopology(num_nodes=1, node=a800_node(gpus_per_node=2))
+        with pytest.raises(ValueError):
+            topo.node_of(2)
+        with pytest.raises(ValueError):
+            topo.link_class(0, -1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(num_nodes=0, node=a800_node())
+
+
+class TestLinkClass:
+    def test_local_intra_inter(self):
+        topo = ClusterTopology(num_nodes=2, node=a800_node(gpus_per_node=4))
+        assert topo.link_class(1, 1) is LinkClass.LOCAL
+        assert topo.link_class(0, 3) is LinkClass.INTRA
+        assert topo.link_class(3, 4) is LinkClass.INTER
+        assert topo.link_class(7, 0) is LinkClass.INTER
+
+    def test_transfer_time_monotone_in_bytes(self):
+        topo = ClusterTopology(num_nodes=2, node=a800_node(gpus_per_node=4))
+        t_small = topo.transfer_time(1e6, LinkClass.INTER)
+        t_big = topo.transfer_time(1e9, LinkClass.INTER)
+        assert t_big > t_small > 0
+
+    def test_intra_faster_than_inter(self):
+        topo = ClusterTopology(num_nodes=2, node=a800_node(gpus_per_node=4))
+        nbytes = 100e6
+        assert topo.transfer_time(nbytes, LinkClass.INTRA) < topo.transfer_time(
+            nbytes, LinkClass.INTER
+        )
+
+    def test_local_transfer_free(self):
+        topo = ClusterTopology(num_nodes=1, node=a800_node(gpus_per_node=2))
+        assert topo.transfer_time(1e9, LinkClass.LOCAL) == 0.0
+
+
+class TestRings:
+    def test_global_ring_covers_all(self):
+        topo = ClusterTopology(num_nodes=2, node=a800_node(gpus_per_node=4))
+        assert topo.global_ring() == list(range(8))
+
+    def test_intra_node_rings(self):
+        topo = ClusterTopology(num_nodes=2, node=a800_node(gpus_per_node=4))
+        rings = topo.intra_node_rings()
+        assert rings == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+    def test_inter_node_ring_per_local_index(self):
+        topo = ClusterTopology(num_nodes=3, node=a800_node(gpus_per_node=4))
+        assert topo.inter_node_ring(0) == [0, 4, 8]
+        assert topo.inter_node_ring(3) == [3, 7, 11]
+        with pytest.raises(ValueError):
+            topo.inter_node_ring(4)
+
+
+class TestMakeCluster:
+    def test_full_nodes(self):
+        topo = make_cluster(32)
+        assert topo.num_nodes == 4
+        assert topo.world_size == 32
+
+    def test_partial_node(self):
+        topo = make_cluster(4)
+        assert topo.num_nodes == 1
+        assert topo.gpus_per_node == 4
+
+    def test_partial_node_preserves_gpu_type(self):
+        topo = make_cluster(4, node=a100_node())
+        assert topo.node.gpu.name.startswith("A100")
+
+    def test_non_multiple_rejected(self):
+        with pytest.raises(ValueError):
+            make_cluster(12, node=a800_node(gpus_per_node=8))
+
+    def test_describe_mentions_hardware(self):
+        topo = make_cluster(16)
+        desc = topo.describe()
+        assert "A800" in desc and "2 node" in desc
+
+    def test_a800_specs_match_paper(self):
+        # 312 TFLOPS bf16, 80 GB HBM — the paper's A800-SXM4-80GB.
+        assert A800_GPU.peak_flops == pytest.approx(312e12)
+        assert A800_GPU.memory_bytes == pytest.approx(80e9)

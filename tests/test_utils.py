@@ -1,0 +1,135 @@
+"""Tests for formatting helpers and the remaining comm surfaces."""
+
+import numpy as np
+import pytest
+
+from repro.comm import SimCommunicator
+from repro.topology import a800_node, make_cluster
+from repro.utils import format_bytes, format_table
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, "0 B"),
+            (999, "999 B"),
+            (1500, "1.50 KB"),
+            (2_500_000, "2.50 MB"),
+            (80e9, "80.00 GB"),
+            (1.5e12, "1.50 TB"),
+            (3e15, "3.00 PB"),
+        ],
+    )
+    def test_values(self, value, expected):
+        assert format_bytes(value) == expected
+
+    def test_negative(self):
+        assert format_bytes(-1500) == "-1.50 KB"
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["a", "long_header"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[1].startswith("-")
+        assert "long_header" in lines[0]
+        # columns align: every row has the separator column position
+        assert lines[2].index("2") == lines[0].index("long_header")
+
+    def test_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+
+class TestGroupAllToAll:
+    TOPO = make_cluster(8, node=a800_node(gpus_per_node=4))
+
+    def test_transposes_within_groups(self):
+        comm = SimCommunicator(self.TOPO)
+        groups = [[0, 1, 2, 3], [4, 5, 6, 7]]
+        chunks = [
+            [np.array([float(src * 10 + pos)]) for pos in range(4)]
+            for src in range(8)
+        ]
+        out = comm.group_all_to_all(chunks, groups, phase="t")
+        # rank 5 (group 1, position 1) receives from peers 4..7 their pos-1 chunk
+        for pos, src in enumerate([4, 5, 6, 7]):
+            assert out[5][pos][0] == float(src * 10 + 1)
+
+    def test_no_cross_group_traffic(self):
+        comm = SimCommunicator(self.TOPO)
+        groups = [[0, 1, 2, 3], [4, 5, 6, 7]]
+        chunks = [[np.zeros(2) for _ in range(4)] for _ in range(8)]
+        comm.group_all_to_all(chunks, groups, phase="t")
+        for rec in comm.log.records:
+            assert (rec.src < 4) == (rec.dst < 4)
+
+    def test_overlapping_groups_rejected(self):
+        comm = SimCommunicator(self.TOPO)
+        chunks = [[np.zeros(1)] * 2 for _ in range(8)]
+        with pytest.raises(ValueError, match="multiple groups"):
+            comm.group_all_to_all(chunks, [[0, 1], [1, 2]], phase="t")
+
+    def test_wrong_chunk_count_rejected(self):
+        comm = SimCommunicator(self.TOPO)
+        chunks = [[np.zeros(1)] for _ in range(8)]  # 1 chunk, group of 2
+        with pytest.raises(ValueError, match="group of size"):
+            comm.group_all_to_all(chunks, [[0, 1]], phase="t")
+
+    def test_p2p_send_bounds(self):
+        comm = SimCommunicator(self.TOPO)
+        with pytest.raises(ValueError):
+            comm.send(0, 99, np.zeros(1), phase="t")
+
+    def test_p2p_send_self_not_logged(self):
+        comm = SimCommunicator(self.TOPO)
+        out = comm.send(3, 3, np.ones(2), phase="t")
+        np.testing.assert_array_equal(out, np.ones(2))
+        assert comm.log.num_transfers() == 0
+
+
+class TestTrafficLogFilters:
+    def test_direction_filter(self):
+        from repro.comm.traffic import TrafficLog, TransferRecord
+        from repro.topology import LinkClass
+
+        log = TrafficLog()
+        log.add(TransferRecord(0, 1, 100, 10, LinkClass.INTRA, "p"))
+        log.add(TransferRecord(1, 0, 200, 20, LinkClass.INTRA, "p"))
+        assert log.total_bytes(rank=0, direction="send") == 100
+        assert log.total_bytes(rank=0, direction="recv") == 200
+        with pytest.raises(ValueError):
+            log.total_bytes(direction="sideways")
+
+    def test_phases_order_preserved(self):
+        from repro.comm.traffic import TrafficLog, TransferRecord
+        from repro.topology import LinkClass
+
+        log = TrafficLog()
+        for phase in ("b", "a", "b"):
+            log.add(TransferRecord(0, 1, 1, 1, LinkClass.INTRA, phase))
+        assert log.phases() == ["b", "a"]
+
+    def test_summary_empty(self):
+        from repro.comm.traffic import TrafficLog
+
+        assert "no traffic" in TrafficLog().summary()
+
+
+class TestSelectiveMethodFacade:
+    def test_registered_and_runs(self):
+        from repro.attention import get_method
+        from repro.masks import SlidingWindowMask
+        from repro.kernels import attention_reference
+
+        topo = make_cluster(4, node=a800_node(gpus_per_node=4))
+        rng = np.random.default_rng(0)
+        q, k, v, do = (rng.normal(size=(2, 32, 8)) for _ in range(4))
+        mask = SlidingWindowMask(8)
+        res = get_method("selective", block_size=8).run(
+            topo, q, k, v, mask=mask, do=do
+        )
+        o_ref, _ = attention_reference(q, k, v, mask=mask.dense(32))
+        np.testing.assert_allclose(res.o, o_ref, rtol=1e-9, atol=1e-11)
+        assert res.dq is not None
