@@ -10,6 +10,11 @@ Public API used by tests, CI, and downstream users adding new methods::
 Also runnable directly::
 
     python -m repro.attention.verify [method ...]
+
+The function doubles as the oracle of the :mod:`repro.testing` harness: the
+differential fuzzer feeds it random (method, mask, topology, dtype)
+configurations, and the fault-injection meta-tests pass a sabotaged
+communicator through ``comm=`` and assert the report catches the damage.
 """
 
 from __future__ import annotations
@@ -20,9 +25,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.attention import METHOD_REGISTRY, get_method
+from repro.comm import SimCommunicator
 from repro.kernels import attention_reference, attention_reference_backward
 from repro.masks import CausalMask, FullMask, MaskPattern, SlidingWindowMask
 from repro.topology import a800_node, make_cluster
+from repro.utils.lowprec import quantize_bf16
 
 
 MASKS = {
@@ -30,6 +37,40 @@ MASKS = {
     "causal": lambda n: CausalMask(),
     "swa": lambda n: SlidingWindowMask(max(2, n // 3)),
 }
+
+#: Max-abs-error budget per input dtype.  The simulated methods accumulate
+#: in float64 regardless, so the tolerance reflects the rounding of the
+#: *inputs* (and of any reference math carried out at input precision):
+#: float64 problems agree to ~1e-13, float32 inputs to ~1e-4, and inputs
+#: rounded to the bfloat16 grid to ~1e-2.
+DTYPE_TOLERANCES = {
+    "float64": 1e-8,
+    "float32": 1e-3,
+    "bfloat16": 5e-2,
+}
+
+
+def resolve_tolerance(dtype: str, tolerance: float | None = None) -> float:
+    """Tolerance for ``dtype``, unless an explicit override is given."""
+    if tolerance is not None:
+        return tolerance
+    if dtype not in DTYPE_TOLERANCES:
+        raise ValueError(
+            f"unknown dtype {dtype!r}; options: {sorted(DTYPE_TOLERANCES)}"
+        )
+    return DTYPE_TOLERANCES[dtype]
+
+
+def _cast_inputs(arrays: list[np.ndarray], dtype: str) -> list[np.ndarray]:
+    if dtype == "float64":
+        return arrays
+    if dtype == "float32":
+        return [a.astype(np.float32) for a in arrays]
+    if dtype == "bfloat16":
+        return [quantize_bf16(a) for a in arrays]
+    raise ValueError(
+        f"unknown dtype {dtype!r}; options: {sorted(DTYPE_TOLERANCES)}"
+    )
 
 
 @dataclass
@@ -40,6 +81,7 @@ class VerificationReport:
     mask: str
     errors: dict[str, float] = field(default_factory=dict)
     tolerance: float = 1e-8
+    dtype: str = "float64"
 
     @property
     def passed(self) -> bool:
@@ -48,7 +90,7 @@ class VerificationReport:
     def summary(self) -> str:
         status = "PASS" if self.passed else "FAIL"
         parts = ", ".join(f"{k}={v:.2e}" for k, v in self.errors.items())
-        return f"[{status}] {self.method} ({self.mask}): {parts}"
+        return f"[{status}] {self.method} ({self.mask}, {self.dtype}): {parts}"
 
 
 def verify_method(
@@ -60,16 +102,56 @@ def verify_method(
     n_heads: int = 8,
     mask: str = "causal",
     seed: int = 0,
-    tolerance: float = 1e-8,
+    tolerance: float | None = None,
+    n_kv_heads: int | None = None,
+    dtype: str = "float64",
+    comm: SimCommunicator | None = None,
+    block_size: int | None = None,
     **method_kwargs,
 ) -> VerificationReport:
-    """Run one method forward+backward and compare against dense math."""
+    """Run one method forward+backward and compare against dense math.
+
+    Parameters beyond the original problem shape:
+
+    n_kv_heads:
+        When set, K/V are generated with this many heads (GQA); the dense
+        reference repeats them per query group and folds the KV gradients
+        back.  Supported by the ring-family methods.
+    dtype:
+        ``"float64"`` (default), ``"float32"``, or ``"bfloat16"`` (inputs
+        rounded to the bf16 grid).  ``tolerance=None`` resolves per dtype
+        via :data:`DTYPE_TOLERANCES`.
+    comm:
+        Optional communicator to run the method through — the hook the
+        fault-injection harness (:mod:`repro.testing.faults`) uses.  Its
+        topology must match ``num_gpus`` / ``gpus_per_node``.
+    """
     if mask not in MASKS:
         raise ValueError(f"unknown mask {mask!r}; options: {sorted(MASKS)}")
-    topo = make_cluster(num_gpus, node=a800_node(gpus_per_node=gpus_per_node))
+    tolerance = resolve_tolerance(dtype, tolerance)
+    topo = (
+        comm.topology
+        if comm is not None
+        else make_cluster(num_gpus, node=a800_node(gpus_per_node=gpus_per_node))
+    )
+    if topo.world_size != num_gpus:
+        raise ValueError(
+            f"comm topology has world size {topo.world_size}, expected {num_gpus}"
+        )
     rng = np.random.default_rng(seed)
-    shape = (n_heads, seq_len, head_dim)
-    q, k, v, do = (rng.normal(size=shape) for _ in range(4))
+    if n_kv_heads is not None and (
+        n_kv_heads < 1 or n_heads % n_kv_heads != 0
+    ):
+        raise ValueError(
+            f"{n_heads} query heads not divisible by {n_kv_heads} KV heads"
+        )
+    groups = 1 if n_kv_heads is None else n_heads // n_kv_heads
+    kv_heads = n_kv_heads if n_kv_heads is not None else n_heads
+    q = rng.normal(size=(n_heads, seq_len, head_dim))
+    k = rng.normal(size=(kv_heads, seq_len, head_dim))
+    v = rng.normal(size=(kv_heads, seq_len, head_dim))
+    do = rng.normal(size=(n_heads, seq_len, head_dim))
+    q, k, v, do = _cast_inputs([q, k, v, do], dtype)
     pattern: MaskPattern = MASKS[mask](seq_len)
 
     if method_name == "usp" and "ulysses_degree" not in method_kwargs:
@@ -77,17 +159,23 @@ def verify_method(
             d for d in range(1, num_gpus + 1)
             if num_gpus % d == 0 and n_heads % d == 0
         )
-    method = get_method(method_name, block_size=max(8, seq_len // 8),
-                        **method_kwargs)
-    res = method.run(topo, q, k, v, mask=pattern, do=do)
+    if block_size is None:
+        block_size = max(8, seq_len // 8)
+    method = get_method(method_name, block_size=block_size, **method_kwargs)
+    res = method.run(topo, q, k, v, mask=pattern, do=do, comm=comm)
+
+    from repro.attention.gqa import fold_kv_grad, repeat_kv
 
     dense = pattern.dense(seq_len)
-    o_ref, lse_ref = attention_reference(q, k, v, mask=dense)
+    k_full, v_full = repeat_kv(k, groups), repeat_kv(v, groups)
+    o_ref, lse_ref = attention_reference(q, k_full, v_full, mask=dense)
     dq_ref, dk_ref, dv_ref = attention_reference_backward(
-        q, k, v, o_ref, lse_ref, do, mask=dense
+        q, k_full, v_full, o_ref, lse_ref, do, mask=dense
     )
+    dk_ref = fold_kv_grad(dk_ref, groups)
+    dv_ref = fold_kv_grad(dv_ref, groups)
     report = VerificationReport(method=method_name, mask=mask,
-                                tolerance=tolerance)
+                                tolerance=tolerance, dtype=dtype)
     report.errors = {
         "o": float(np.abs(res.o - o_ref).max()),
         "lse": float(np.abs(res.lse - lse_ref).max()),

@@ -1,0 +1,279 @@
+"""Fault-injecting communicators: realistic distributed-systems bugs on tap.
+
+A reproduction's tests are only as good as their ability to *fail*.  Each
+class here wraps :class:`~repro.comm.SimCommunicator` and sabotages the
+delivery of one (or every) matching transfer; the meta-tests then assert
+that :func:`repro.attention.verify.verify_method` catches the damage for
+every method in the registry, and the differential fuzzer uses the same
+classes to prove it reports (and shrinks) injected failures.
+
+Targeting
+---------
+All faults share one targeting model: a delivery op is *matched* when its
+``op`` name (``ring_shift`` / ``exchange`` / ``all_to_all`` /
+``group_all_to_all`` / ``send``), ``phase`` and ``tag`` each contain the
+configured filter (``None`` matches anything), and the fault fires on the
+``at_call``-th matching call (1-based; ``None`` fires on every match).  So
+
+* ``CorruptPayloadComm(topo)`` — corrupt the very first transfer of the run;
+* ``CorruptPayloadComm(topo, phase="attn-bwd", at_call=1)`` — corrupt the
+  first backward transfer only, leaving the forward clean;
+* ``DropTransferComm(topo, op="exchange", tag="return")`` — lose the
+  gradient-return message of Algorithms 1/2.
+
+The fault models
+----------------
+===============================  ===============================================
+:class:`CorruptPayloadComm`      delivered floats perturbed by additive noise
+:class:`DropTransferComm`        one rank's delivery silently zeroed (lost msg)
+:class:`MisrouteHopComm`         deliveries rotated to the wrong ranks
+:class:`StaleBufferComm`         previous delivery served again (double-buffer
+                                 reuse without waiting for the transfer)
+:class:`DuplicateDeliveryComm`   message applied twice (doubled payload, as a
+                                 reduce would see a re-sent packet)
+===============================  ===============================================
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.comm import SimCommunicator
+from repro.topology import ClusterTopology
+from repro.utils.pytree import tree_map
+
+
+def _perturb_floats(tree: object, fn) -> object:
+    """Apply ``fn`` to every floating-point leaf of a pytree."""
+    return tree_map(
+        lambda a: fn(a) if getattr(a, "dtype", None) is not None
+        and a.dtype.kind == "f" else a,
+        tree,
+    )
+
+
+def _copy_tree(tree: object) -> object:
+    return tree_map(np.copy, tree)
+
+
+class FaultInjectingCommunicator(SimCommunicator):
+    """Base class: intercepts every delivery op and lets a subclass damage
+    the received buffers when the targeting filters match.
+
+    Parameters
+    ----------
+    phase, tag, op:
+        Substring filters on the transfer labels (``None`` = match all).
+    at_call:
+        1-based index of the matching call to sabotage; ``None`` hits every
+        matching call.
+    victim:
+        For per-rank faults (corrupt / drop / duplicate on collective
+        deliveries): index of the delivered entry to damage.
+    """
+
+    fault_name = "base"
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        *,
+        phase: str | None = None,
+        tag: str | None = None,
+        op: str | None = None,
+        at_call: int | None = 1,
+        victim: int = 0,
+        log=None,
+    ):
+        super().__init__(topology, log=log)
+        self.target_phase = phase
+        self.target_tag = tag
+        self.target_op = op
+        self.at_call = at_call
+        self.victim = victim
+        self.calls_matched = 0
+        self.injections = 0
+        # Last *clean* delivery per op — what a stale double-buffer holds.
+        self._history: dict[str, object] = {}
+
+    def describe(self) -> str:
+        filters = ", ".join(
+            f"{k}={v!r}" for k, v in [
+                ("phase", self.target_phase), ("tag", self.target_tag),
+                ("op", self.target_op), ("at_call", self.at_call),
+            ] if v is not None
+        )
+        return f"{self.fault_name}({filters})"
+
+    # --- targeting ---------------------------------------------------------
+
+    def _triggered(self, op: str, phase: str, tag: str) -> bool:
+        if self.target_op is not None and self.target_op != op:
+            return False
+        if self.target_phase is not None and self.target_phase not in phase:
+            return False
+        if self.target_tag is not None and self.target_tag not in tag:
+            return False
+        self.calls_matched += 1
+        hit = self.at_call is None or self.calls_matched == self.at_call
+        if hit:
+            self.injections += 1
+        return hit
+
+    # --- subclass hooks ----------------------------------------------------
+
+    def _fault_list(
+        self, op: str, operands: list, out: list, prev: list | None
+    ) -> list:
+        """Damage a per-rank list delivery; ``prev`` is the previous clean
+        delivery of the same op (or ``None``)."""
+        return out
+
+    def _fault_payload(
+        self, op: str, payload: object, received: object, prev: object | None
+    ) -> object:
+        """Damage a single point-to-point delivery."""
+        return received
+
+    # --- interception ------------------------------------------------------
+
+    def _deliver_list(
+        self, op: str, operands: Sequence[object], out: list, phase: str, tag: str
+    ) -> list:
+        prev = self._history.get(op)
+        self._history[op] = [_copy_tree(b) for b in out]
+        if self._triggered(op, phase, tag):
+            return self._fault_list(op, list(operands), list(out), prev)
+        return out
+
+    def ring_shift(self, bufs, ring, *, phase, tag=""):
+        out = super().ring_shift(bufs, ring, phase=phase, tag=tag)
+        return self._deliver_list("ring_shift", bufs, out, phase, tag)
+
+    def exchange(self, bufs, dest_of, *, phase, tag=""):
+        out = super().exchange(bufs, dest_of, phase=phase, tag=tag)
+        return self._deliver_list("exchange", bufs, out, phase, tag)
+
+    def all_to_all(self, chunks, *, phase, tag=""):
+        out = super().all_to_all(chunks, phase=phase, tag=tag)
+        return self._deliver_list("all_to_all", chunks, out, phase, tag)
+
+    def group_all_to_all(self, chunks, groups, *, phase, tag=""):
+        out = super().group_all_to_all(chunks, groups, phase=phase, tag=tag)
+        return self._deliver_list("group_all_to_all", chunks, out, phase, tag)
+
+    def send(self, src, dst, payload, *, phase, tag=""):
+        out = super().send(src, dst, payload, phase=phase, tag=tag)
+        prev = self._history.get("send")
+        self._history["send"] = _copy_tree(out)
+        if self._triggered("send", phase, tag):
+            return self._fault_payload("send", payload, out, prev)
+        return out
+
+
+class CorruptPayloadComm(FaultInjectingCommunicator):
+    """Additive-noise corruption of the victim's delivered floats — a
+    flipped mantissa bit, an overwritten buffer, a bad NCCL reduction."""
+
+    fault_name = "corrupt"
+
+    def __init__(self, topology, noise: float = 1e-3, **kw):
+        super().__init__(topology, **kw)
+        self.noise = noise
+
+    def _fault_list(self, op, operands, out, prev):
+        v = self.victim % len(out)
+        out[v] = _perturb_floats(out[v], lambda a: a + self.noise)
+        return out
+
+    def _fault_payload(self, op, payload, received, prev):
+        return _perturb_floats(received, lambda a: a + self.noise)
+
+
+class DropTransferComm(FaultInjectingCommunicator):
+    """A lost message: the victim receives zeros instead of the payload."""
+
+    fault_name = "drop"
+
+    def _fault_list(self, op, operands, out, prev):
+        v = self.victim % len(out)
+        out[v] = tree_map(np.zeros_like, out[v])
+        return out
+
+    def _fault_payload(self, op, payload, received, prev):
+        return tree_map(np.zeros_like, received)
+
+
+class MisrouteHopComm(FaultInjectingCommunicator):
+    """A routing bug: every delivery lands one rank over.  For a single
+    point-to-point transfer, the receiver gets the *previous* message on
+    the wire instead (zeros when there was none)."""
+
+    fault_name = "misroute"
+
+    def _fault_list(self, op, operands, out, prev):
+        g = len(out)
+        return [out[(i + 1) % g] for i in range(g)]
+
+    def _fault_payload(self, op, payload, received, prev):
+        if prev is not None:
+            return _copy_tree(prev)
+        return tree_map(np.zeros_like, received)
+
+
+class StaleBufferComm(FaultInjectingCommunicator):
+    """Double-buffering bug: the receiver reuses the previous step's buffer
+    without waiting for the new transfer to land.  On the first matching
+    call there is no previous delivery, so the pre-transfer operands are
+    served (the buffer simply never moved)."""
+
+    fault_name = "stale"
+
+    def _fault_list(self, op, operands, out, prev):
+        if prev is not None:
+            return [_copy_tree(b) for b in prev]
+        return [_copy_tree(b) for b in operands]
+
+    def _fault_payload(self, op, payload, received, prev):
+        if prev is not None:
+            return _copy_tree(prev)
+        return tree_map(np.zeros_like, received)
+
+
+class DuplicateDeliveryComm(FaultInjectingCommunicator):
+    """A re-sent packet consumed twice: the victim's delivered floats are
+    doubled, as an accumulating receiver would observe."""
+
+    fault_name = "duplicate"
+
+    def _fault_list(self, op, operands, out, prev):
+        v = self.victim % len(out)
+        out[v] = _perturb_floats(out[v], lambda a: a + a)
+        return out
+
+    def _fault_payload(self, op, payload, received, prev):
+        return _perturb_floats(received, lambda a: a + a)
+
+
+FAULT_REGISTRY: dict[str, type[FaultInjectingCommunicator]] = {
+    "corrupt": CorruptPayloadComm,
+    "drop": DropTransferComm,
+    "misroute": MisrouteHopComm,
+    "stale": StaleBufferComm,
+    "duplicate": DuplicateDeliveryComm,
+}
+
+
+def make_fault(
+    name: str, topology: ClusterTopology, **kwargs
+) -> FaultInjectingCommunicator:
+    """Instantiate a fault-injecting communicator by registry name."""
+    try:
+        cls = FAULT_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault {name!r}; available: {sorted(FAULT_REGISTRY)}"
+        ) from None
+    return cls(topology, **kwargs)

@@ -1,66 +1,29 @@
 """Fault injection: corrupt the communication layer and confirm the
 verification machinery catches it.
 
-A reproduction's tests are only as good as their ability to *fail*.  These
-meta-tests inject realistic distributed-systems bugs — a corrupted
-transfer, a dropped gradient return, a misrouted ring hop — and assert the
-dense-reference comparisons detect every one.
+A reproduction's tests are only as good as their ability to *fail*.  The
+fault models now live in :mod:`repro.testing.faults` (see
+``tests/test_testing_harness.py`` for the full method × fault acceptance
+matrix); this file keeps the narrative burst-specific scenarios — where in
+Algorithm 2's schedule each bug bites — using the promoted classes.
 """
 
 import numpy as np
-import pytest
 
 from repro.attention import get_method
 from repro.attention.verify import verify_method
 from repro.comm import SimCommunicator
 from repro.masks import CausalMask
+from repro.testing.faults import (
+    CorruptPayloadComm,
+    DropTransferComm,
+    MisrouteHopComm,
+    StaleBufferComm,
+)
 from repro.topology import a800_node, make_cluster
-from repro.utils.pytree import tree_map
 
 
 TOPO = make_cluster(4, node=a800_node(gpus_per_node=4))
-
-
-class CorruptingCommunicator(SimCommunicator):
-    """Perturbs the payload of the Nth ring transfer."""
-
-    def __init__(self, topology, corrupt_at: int, noise: float = 1e-3):
-        super().__init__(topology)
-        self.corrupt_at = corrupt_at
-        self.noise = noise
-        self._count = 0
-
-    def ring_shift(self, bufs, ring, *, phase, tag=""):
-        out = super().ring_shift(bufs, ring, phase=phase, tag=tag)
-        self._count += 1
-        if self._count == self.corrupt_at:
-            out = list(out)
-            out[ring[0]] = tree_map(
-                lambda a: a + self.noise if a.dtype.kind == "f" else a,
-                out[ring[0]],
-            )
-        return out
-
-
-class DroppingCommunicator(SimCommunicator):
-    """Silently zeroes the gradient-return exchange (a lost message)."""
-
-    def exchange(self, bufs, dest_of, *, phase, tag=""):
-        out = super().exchange(bufs, dest_of, phase=phase, tag=tag)
-        if "return" in tag:
-            out = [tree_map(np.zeros_like, b) for b in out]
-        return out
-
-
-class MisroutingCommunicator(SimCommunicator):
-    """Sends ring traffic in the wrong direction (a routing bug).
-
-    Note a *rotated* ring list would be the same cyclic ring — the
-    successor map is what matters — so the bug reverses it instead.
-    """
-
-    def ring_shift(self, bufs, ring, *, phase, tag=""):
-        return super().ring_shift(bufs, list(ring)[::-1], phase=phase, tag=tag)
 
 
 def run_with_comm(comm):
@@ -81,25 +44,36 @@ class TestFaultsAreDetected:
         np.testing.assert_allclose(res.dq, ref.dq, rtol=1e-12)
 
     def test_corrupted_transfer_changes_output(self):
-        res, ref = run_with_comm(CorruptingCommunicator(TOPO, corrupt_at=1))
+        comm = CorruptPayloadComm(TOPO, op="ring_shift", at_call=1)
+        res, ref = run_with_comm(comm)
         assert not np.allclose(res.o, ref.o, rtol=1e-9)
 
     def test_late_corruption_only_hits_backward(self):
-        """Corrupting a transfer after the forward's 3 transitions leaves
-        the output intact but poisons gradients."""
-        comm = CorruptingCommunicator(TOPO, corrupt_at=4)
+        """Corrupting the first backward transfer leaves the output intact
+        but poisons gradients."""
+        comm = CorruptPayloadComm(TOPO, op="ring_shift", phase="attn-bwd")
         res, ref = run_with_comm(comm)
         np.testing.assert_allclose(res.o, ref.o, rtol=1e-12)
         assert not np.allclose(res.dq, ref.dq, rtol=1e-9)
 
     def test_dropped_gradient_return_detected(self):
-        res, ref = run_with_comm(DroppingCommunicator(TOPO))
-        # Algorithm 2 returns dQ via the final exchange: zeroing it must show
+        # Algorithm 2 returns dQ via the final exchange: losing it must show
+        comm = DropTransferComm(TOPO, op="exchange", tag="return")
+        res, ref = run_with_comm(comm)
         assert not np.allclose(res.dq, ref.dq, rtol=1e-9)
 
     def test_misrouting_detected(self):
-        res, ref = run_with_comm(MisroutingCommunicator(TOPO))
+        comm = MisrouteHopComm(TOPO, op="ring_shift", at_call=1)
+        res, ref = run_with_comm(comm)
         assert not np.allclose(res.o, ref.o, rtol=1e-6)
+
+    def test_stale_kv_buffer_detected(self):
+        """Reusing the previous ring step's KV bundle (double-buffering bug)
+        corrupts the merged softmax states."""
+        comm = StaleBufferComm(TOPO, op="ring_shift", tag="kv", at_call=2)
+        res, ref = run_with_comm(comm)
+        assert not np.allclose(res.o, ref.o, rtol=1e-6)
+        assert not np.allclose(res.lse, ref.lse, rtol=1e-6)
 
     def test_verify_method_flags_noisy_tolerance(self):
         """The verification report fails when errors exceed tolerance."""
