@@ -1,0 +1,8 @@
+"""Root pytest configuration.
+
+Loads the chaos-recovery runner as a plugin so its session-scoped
+``chaos_report`` fixture (one shared fault-injection + crash-resume run)
+is available to every test module.
+"""
+
+pytest_plugins = ("repro.resilience.chaos",)

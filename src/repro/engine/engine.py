@@ -78,12 +78,28 @@ class StepResult:
 class BurstEngine:
     """End-to-end distributed long-context training on the sim cluster."""
 
-    def __init__(self, config: EngineConfig, topology: ClusterTopology | None = None):
+    def __init__(
+        self,
+        config: EngineConfig,
+        topology: ClusterTopology | None = None,
+        comm: SimCommunicator | None = None,
+    ):
         self.config = config
-        self.topology = topology if topology is not None else make_cluster(
-            config.num_gpus, gpus_per_node=config.gpus_per_node
-        )
-        self.comm = SimCommunicator(self.topology)
+        if comm is not None:
+            # Custom communicator (fault-injecting, resilient, …): the
+            # engine adopts its topology so the two can never disagree.
+            if topology is not None and topology is not comm.topology:
+                raise ValueError(
+                    "pass either topology or comm; the provided comm is "
+                    "bound to a different topology"
+                )
+            self.topology = comm.topology
+            self.comm = comm
+        else:
+            self.topology = topology if topology is not None else make_cluster(
+                config.num_gpus, gpus_per_node=config.gpus_per_node
+            )
+            self.comm = SimCommunicator(self.topology)
         self.method: DistributedAttention = get_method(
             config.method, **config.method_kwargs
         )

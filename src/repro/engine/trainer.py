@@ -2,20 +2,24 @@
 
 Adds the pieces a real training run needs on top of ``train_step``:
 learning-rate scheduling, gradient clipping, periodic evaluation,
-best-checkpoint saving, and a structured history the examples and tests
-consume.
+best-checkpoint saving, a structured history the examples and tests
+consume — and crash recovery: periodic atomic train-state snapshots
+(:func:`repro.nn.serialization.save_train_state`) plus
+``fit(resume_from=...)``, which restores model, optimizer moments, RNG
+stream, history, best-eval watermark and batch cursor so an interrupted
+run replays into a bitwise-identical :class:`TrainRecord` history.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.engine.engine import BurstEngine
 from repro.nn.schedule import ConstantLR, LRSchedule, clip_grad_norm
-from repro.nn.serialization import save_model
+from repro.nn.serialization import load_train_state, save_model, save_train_state
 from repro.nn.tensor import no_grad
 
 
@@ -46,7 +50,17 @@ class Trainer:
         Optional callable ``model -> float`` run every ``eval_every``
         steps (e.g. held-out loss or recall accuracy).
     checkpoint_path:
-        If set, the best-eval model is saved there (npz).
+        If set, the best-eval model is saved there (npz, atomic).
+    state_path:
+        If set (together with ``save_every``), a full train-state snapshot
+        is written there atomically every ``save_every`` steps; pass the
+        same path to ``fit(resume_from=...)`` after a crash.
+    save_every:
+        Snapshot period in steps; ``0`` disables periodic snapshots.
+    on_step_end:
+        Optional callback ``(trainer, record) -> None`` invoked after each
+        step's bookkeeping (snapshot included) — the chaos harness uses it
+        to simulate mid-run crashes.
     """
 
     engine: BurstEngine
@@ -55,8 +69,13 @@ class Trainer:
     eval_fn: Callable | None = None
     eval_every: int = 10
     checkpoint_path: str | None = None
+    state_path: str | None = None
+    save_every: int = 0
+    grad_accumulation: int = 1
+    on_step_end: Callable[["Trainer", TrainRecord], None] | None = None
     history: list[TrainRecord] = field(default_factory=list)
     best_eval: float = float("inf")
+    micro: int = 0
 
     def __post_init__(self) -> None:
         if self.schedule is None:
@@ -66,12 +85,11 @@ class Trainer:
     def model(self):
         return self.engine.model
 
-    grad_accumulation: int = 1
-
     def fit(
         self,
         batches: Sequence[tuple[np.ndarray, np.ndarray]],
         steps: int,
+        resume_from: str | None = None,
     ) -> list[TrainRecord]:
         """Run ``steps`` optimizer updates cycling through ``batches``.
 
@@ -81,14 +99,21 @@ class Trainer:
         activation footprint.  Gradient clipping happens between backward
         and the optimizer step, which requires driving the engine's
         internals directly (its ``train_step`` fuses them).
+
+        With ``resume_from`` set, the trainer first restores a train-state
+        snapshot (model, optimizer, RNG stream, history, best-eval, batch
+        cursor) and continues from the snapshot's step; the resulting
+        history is bitwise identical to an uninterrupted run.
         """
         if not batches:
             raise ValueError("need at least one (ids, targets) batch")
         if self.grad_accumulation < 1:
             raise ValueError("grad_accumulation must be >= 1")
+        start_step = 0
+        if resume_from is not None:
+            start_step = self.load_state(resume_from)
         engine = self.engine
-        micro = 0
-        for step in range(steps):
+        for step in range(start_step, steps):
             lr = self.schedule.apply(engine.optimizer, step)
 
             from repro.nn.memory import reset_tracker
@@ -97,8 +122,8 @@ class Trainer:
             engine.optimizer.zero_grad()
             loss_value = 0.0
             for _ in range(self.grad_accumulation):
-                ids, targets = batches[micro % len(batches)]
-                micro += 1
+                ids, targets = batches[self.micro % len(batches)]
+                self.micro += 1
                 loss = engine.model(ids, targets)
                 loss_value += loss.item() / self.grad_accumulation
                 loss.backward(
@@ -129,7 +154,47 @@ class Trainer:
                     if self.checkpoint_path is not None:
                         save_model(engine.model, self.checkpoint_path)
             self.history.append(record)
+            if (
+                self.state_path is not None
+                and self.save_every > 0
+                and (step + 1) % self.save_every == 0
+            ):
+                self.save_state(self.state_path)
+            if self.on_step_end is not None:
+                self.on_step_end(self, record)
         return self.history
+
+    # --- crash recovery ------------------------------------------------------
+
+    def save_state(self, path: str) -> str:
+        """Atomically snapshot the full training run to ``path``.
+
+        Captures everything ``fit(resume_from=path)`` needs to continue
+        bitwise: parameters, optimizer moments, the RNG stream, history,
+        best-eval watermark, batch cursor and the engine step counter.
+        Returns the snapshot's manifest digest.
+        """
+        return save_train_state(
+            path,
+            self.engine.model,
+            self.engine.optimizer,
+            step=len(self.history),
+            micro=self.micro,
+            history=[asdict(r) for r in self.history],
+            best_eval=self.best_eval,
+            engine_step=self.engine.step_count,
+        )
+
+    def load_state(self, path: str) -> int:
+        """Restore a :meth:`save_state` snapshot; returns the resume step."""
+        meta = load_train_state(path, self.engine.model, self.engine.optimizer)
+        self.history = [TrainRecord(**r) for r in meta["history"]]
+        best = meta.get("best_eval")
+        self.best_eval = float("inf") if best is None else float(best)
+        self.micro = int(meta["micro"])
+        if meta.get("engine_step") is not None:
+            self.engine.step_count = int(meta["engine_step"])
+        return int(meta["step"])
 
     def losses(self) -> list[float]:
         return [r.loss for r in self.history]

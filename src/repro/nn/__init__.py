@@ -41,7 +41,14 @@ from repro.nn.schedule import (
     clip_grad_norm,
     grad_global_norm,
 )
-from repro.nn.serialization import load_model, save_model
+from repro.nn.serialization import (
+    CheckpointError,
+    load_model,
+    load_train_state,
+    save_model,
+    save_train_state,
+)
+from repro.nn.rng import get_rng_state, set_rng_state, set_seed
 from repro.nn.rope import apply_rope, rope_angles
 
 __all__ = [
@@ -71,8 +78,14 @@ __all__ = [
     "WarmupCosineLR",
     "clip_grad_norm",
     "grad_global_norm",
+    "CheckpointError",
     "load_model",
     "save_model",
+    "load_train_state",
+    "save_train_state",
+    "get_rng_state",
+    "set_rng_state",
+    "set_seed",
     "apply_rope",
     "rope_angles",
 ]

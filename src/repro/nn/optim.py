@@ -33,6 +33,34 @@ class Optimizer:
         """Bytes of optimizer state (for the memory model)."""
         return 0
 
+    # --- checkpoint support -------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot of everything a resumed run needs to continue bitwise.
+
+        Returns a dict of scalars plus an ``"arrays"`` sub-dict of numpy
+        buffers (moment estimates etc.), consumed by
+        :func:`repro.nn.serialization.save_train_state`.
+        """
+        return {"kind": type(self).__name__, "lr": self.lr, "arrays": {}}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict` (strict)."""
+        kind = state.get("kind")
+        if kind != type(self).__name__:
+            raise ValueError(
+                f"optimizer state is for {kind!r}, not {type(self).__name__!r}"
+            )
+        self.lr = float(state["lr"])
+
+    def _check_array(self, name: str, arr: np.ndarray, param: Tensor) -> np.ndarray:
+        if arr.shape != param.data.shape:
+            raise ValueError(
+                f"optimizer state {name!r} has shape {arr.shape}, parameter "
+                f"has {param.data.shape}"
+            )
+        return arr.copy()
+
 
 class SGD(Optimizer):
     """Plain SGD with optional momentum."""
@@ -57,6 +85,27 @@ class SGD(Optimizer):
         if self._velocity is None:
             return 0
         return sum(v.nbytes for v in self._velocity)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["momentum"] = self.momentum
+        if self._velocity is not None:
+            state["arrays"] = {
+                f"velocity:{i}": v for i, v in enumerate(self._velocity)
+            }
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.momentum = float(state.get("momentum", 0.0))
+        if self.momentum:
+            arrays = state["arrays"]
+            self._velocity = [
+                self._check_array(f"velocity:{i}", arrays[f"velocity:{i}"], p)
+                for i, p in enumerate(self.params)
+            ]
+        else:
+            self._velocity = None
 
 
 class Adam(Optimizer):
@@ -96,6 +145,32 @@ class Adam(Optimizer):
     def state_bytes(self) -> int:
         return sum(m.nbytes + v.nbytes for m, v in zip(self._m, self._v))
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update(t=self.t, beta1=self.beta1, beta2=self.beta2, eps=self.eps)
+        arrays: dict[str, np.ndarray] = {}
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            arrays[f"m:{i}"] = m
+            arrays[f"v:{i}"] = v
+        state["arrays"] = arrays
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.t = int(state["t"])
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.eps = float(state["eps"])
+        arrays = state["arrays"]
+        self._m = [
+            self._check_array(f"m:{i}", arrays[f"m:{i}"], p)
+            for i, p in enumerate(self.params)
+        ]
+        self._v = [
+            self._check_array(f"v:{i}", arrays[f"v:{i}"], p)
+            for i, p in enumerate(self.params)
+        ]
+
 
 class AdamW(Adam):
     """Adam with decoupled weight decay."""
@@ -109,3 +184,12 @@ class AdamW(Adam):
             if p.grad is not None:
                 p.data -= self.lr * self.weight_decay * p.data
         super().step()
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["weight_decay"] = self.weight_decay
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.weight_decay = float(state["weight_decay"])

@@ -39,6 +39,31 @@ def draw_seed() -> int:
     return int(_GLOBAL.integers(0, 2**63 - 1))
 
 
+def get_rng_state() -> dict:
+    """JSON-serialisable snapshot of the global model RNG stream.
+
+    Checkpoint-restart support: a training run resumed from a snapshot must
+    draw the *same* per-layer dropout seeds it would have drawn had it never
+    crashed, so the global stream's bit-generator state travels with the
+    train-state checkpoint (see :func:`repro.nn.serialization.save_train_state`).
+    """
+    return dict(_GLOBAL.bit_generator.state)
+
+
+def set_rng_state(state: dict) -> None:
+    """Restore the global model RNG stream from :func:`get_rng_state`."""
+    global _GLOBAL
+    gen = np.random.default_rng(0)
+    name = type(gen.bit_generator).__name__
+    if state.get("bit_generator") != name:
+        raise ValueError(
+            f"RNG state is for bit generator {state.get('bit_generator')!r}, "
+            f"expected {name!r}"
+        )
+    gen.bit_generator.state = state
+    _GLOBAL = gen
+
+
 @contextlib.contextmanager
 def scoped_rng(seed: int | None) -> Iterator[None]:
     """Install a generator seeded with ``seed`` as the current RNG.

@@ -1,32 +1,142 @@
-"""Model checkpoint save/load (npz).
+"""Checkpointing: atomic, checksum-verified model and train-state snapshots.
 
-Parameters are stored by their ``named_parameters`` path, so any module
-tree round-trips; a strict load verifies that names and shapes match
-exactly (catching architecture drift between save and load).
+Two checkpoint kinds share one on-disk discipline:
+
+* **Model checkpoints** (:func:`save_model` / :func:`load_model`) store the
+  parameters by their ``named_parameters`` path, so any module tree
+  round-trips; a strict load verifies that names and shapes match exactly
+  (catching architecture drift between save and load).
+
+* **Train-state snapshots** (:func:`save_train_state` /
+  :func:`load_train_state`) additionally capture everything a resumed run
+  needs to continue *bitwise*: optimizer moments (via
+  ``Optimizer.state_dict``), the step / micro-batch cursors, the trainer's
+  history and best-eval watermark, and the :mod:`repro.nn.rng` stream.
+
+Durability discipline (what real large-run checkpointing does):
+
+* every write goes to a temporary file in the destination directory, is
+  flushed and ``fsync``-ed, then atomically renamed over the target with
+  :func:`os.replace` — a crash mid-save can never truncate the previous
+  good checkpoint;
+* every file embeds a SHA-256 **manifest checksum** over all entries
+  (names, dtypes, shapes, bytes); loads recompute and compare, raising
+  :class:`CheckpointError` on any corruption instead of silently training
+  from garbage.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import tempfile
+from typing import Iterable
+
 import numpy as np
 
 from repro.nn.modules import Module
+from repro.nn.optim import Optimizer
+
+#: npz entry holding the SHA-256 manifest digest of all other entries.
+CHECKSUM_KEY = "__checksum__"
+#: npz entry holding the JSON metadata of a train-state snapshot.
+META_KEY = "__meta__"
+#: Train-state snapshot format version.
+FORMAT_VERSION = 1
+
+_PARAM_PREFIX = "param:"
+_OPT_PREFIX = "opt:"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint failed integrity or structure verification."""
+
+
+# --- on-disk discipline ------------------------------------------------------
+
+
+def checksum_arrays(arrays: dict[str, np.ndarray]) -> str:
+    """SHA-256 manifest digest over named arrays (order-independent)."""
+    h = hashlib.sha256()
+    for name in sorted(arrays):
+        a = np.ascontiguousarray(arrays[name])
+        h.update(name.encode())
+        h.update(b"\0")
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def atomic_savez(path: str, arrays: dict[str, np.ndarray]) -> None:
+    """Write an npz atomically: tmp file in the same dir + fsync + rename."""
+    target = os.path.abspath(path)
+    directory = os.path.dirname(target)
+    fd, tmp = tempfile.mkstemp(
+        prefix=os.path.basename(target) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as f:
+            np.savez(f, **arrays)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    # Best-effort directory fsync so the rename itself is durable.
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:
+        pass
+
+
+def _load_verified(path: str) -> dict[str, np.ndarray]:
+    """Load an npz and verify its manifest checksum when present."""
+    with np.load(path) as data:
+        stored = {name: data[name] for name in data.files}
+    digest = stored.pop(CHECKSUM_KEY, None)
+    if digest is not None:
+        actual = checksum_arrays(stored)
+        if str(digest) != actual:
+            raise CheckpointError(
+                f"checkpoint {path!r} is corrupt: manifest checksum mismatch "
+                f"(stored {str(digest)[:12]}…, recomputed {actual[:12]}…)"
+            )
+    return stored
+
+
+# --- model checkpoints -------------------------------------------------------
 
 
 def save_model(model: Module, path: str) -> int:
-    """Write all parameters to ``path`` (npz); returns parameter count."""
+    """Atomically write all parameters to ``path`` (npz with a manifest
+    checksum); returns parameter count."""
     arrays = {name: p.data for name, p in model.named_parameters()}
-    np.savez(path, **arrays)
+    payload = dict(arrays)
+    payload[CHECKSUM_KEY] = np.array(checksum_arrays(arrays))
+    atomic_savez(path, payload)
     return sum(a.size for a in arrays.values())
 
 
 def load_model(model: Module, path: str, strict: bool = True) -> list[str]:
-    """Load parameters in place.
+    """Load parameters in place, verifying the manifest checksum first.
 
     With ``strict`` (default), missing/unexpected/shape-mismatched entries
-    raise; otherwise they are skipped and returned.
+    raise; otherwise they are skipped and returned.  Checkpoints written
+    before manifest checksums existed (no ``__checksum__`` entry) load
+    without integrity verification.
     """
-    with np.load(path) as data:
-        stored = {name: data[name] for name in data.files}
+    stored = _load_verified(path)
+    stored.pop(META_KEY, None)
     skipped: list[str] = []
     current = dict(model.named_parameters())
     for name, p in current.items():
@@ -49,3 +159,126 @@ def load_model(model: Module, path: str, strict: bool = True) -> list[str]:
         raise KeyError(f"checkpoint has unexpected parameters: {unexpected}")
     skipped.extend(unexpected)
     return skipped
+
+
+# --- train-state snapshots ---------------------------------------------------
+
+
+def save_train_state(
+    path: str,
+    model: Module,
+    optimizer: Optimizer,
+    *,
+    step: int,
+    micro: int = 0,
+    history: Iterable[dict] = (),
+    best_eval: float | None = None,
+    engine_step: int | None = None,
+    rng_state: dict | None = None,
+    extra: dict | None = None,
+) -> str:
+    """Atomically snapshot a full training run; returns the manifest digest.
+
+    Parameters
+    ----------
+    step:
+        Number of completed optimizer steps (the resumed run continues at
+        this 0-indexed step).
+    micro:
+        Micro-batch cursor (grad-accumulation position in the batch cycle).
+    history:
+        JSON-serialisable per-step records (e.g. ``asdict(TrainRecord)``).
+    best_eval, engine_step:
+        Trainer best-eval watermark and engine step counter.
+    rng_state:
+        Snapshot of the model RNG stream; defaults to the live
+        :func:`repro.nn.rng.get_rng_state`.
+    extra:
+        Free-form JSON-serialisable payload (schedule config, run id, …).
+    """
+    from repro.nn.rng import get_rng_state
+
+    arrays: dict[str, np.ndarray] = {}
+    for name, p in model.named_parameters():
+        arrays[_PARAM_PREFIX + name] = p.data
+    opt_state = optimizer.state_dict()
+    for key, arr in opt_state.pop("arrays").items():
+        arrays[_OPT_PREFIX + key] = arr
+    meta = {
+        "version": FORMAT_VERSION,
+        "step": int(step),
+        "micro": int(micro),
+        "best_eval": best_eval,
+        "engine_step": engine_step,
+        "history": list(history),
+        "rng": rng_state if rng_state is not None else get_rng_state(),
+        "optimizer": opt_state,
+        "extra": extra or {},
+    }
+    arrays[META_KEY] = np.array(json.dumps(meta))
+    digest = checksum_arrays(arrays)
+    payload = dict(arrays)
+    payload[CHECKSUM_KEY] = np.array(digest)
+    atomic_savez(path, payload)
+    return digest
+
+
+def load_train_state(
+    path: str,
+    model: Module,
+    optimizer: Optimizer,
+    *,
+    restore_rng: bool = True,
+) -> dict:
+    """Restore a :func:`save_train_state` snapshot in place; returns meta.
+
+    Verifies the manifest checksum, strictly loads parameters and optimizer
+    state, restores the :mod:`repro.nn.rng` stream (unless ``restore_rng``
+    is false), and returns the metadata dict (``step``, ``micro``,
+    ``history``, ``best_eval``, ``engine_step``, ``extra``).
+    """
+    stored = _load_verified(path)
+    meta_arr = stored.pop(META_KEY, None)
+    if meta_arr is None:
+        raise CheckpointError(
+            f"{path!r} is not a train-state snapshot (no {META_KEY} entry)"
+        )
+    meta = json.loads(str(meta_arr))
+    if meta.get("version") != FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported train-state version {meta.get('version')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+
+    params = {
+        k[len(_PARAM_PREFIX):]: v
+        for k, v in stored.items() if k.startswith(_PARAM_PREFIX)
+    }
+    current = dict(model.named_parameters())
+    if set(params) != set(current):
+        missing = sorted(set(current) - set(params))
+        unexpected = sorted(set(params) - set(current))
+        raise CheckpointError(
+            f"parameter set mismatch: missing {missing}, unexpected {unexpected}"
+        )
+    for name, p in current.items():
+        if params[name].shape != p.data.shape:
+            raise CheckpointError(
+                f"shape mismatch for {name!r}: snapshot {params[name].shape} "
+                f"vs model {p.data.shape}"
+            )
+    for name, p in current.items():
+        p.data = params[name].copy()
+
+    opt_state = dict(meta["optimizer"])
+    opt_state["arrays"] = {
+        k[len(_OPT_PREFIX):]: v
+        for k, v in stored.items() if k.startswith(_OPT_PREFIX)
+    }
+    optimizer.load_state_dict(opt_state)
+
+    if restore_rng and meta.get("rng") is not None:
+        from repro.nn.rng import set_rng_state
+
+        set_rng_state(meta["rng"])
+    return meta

@@ -1,0 +1,309 @@
+"""Chaos-recovery runner: prove the stack survives injected faults.
+
+Composes the PR-1 fault injectors (:mod:`repro.testing.faults`) with the
+recovery layer (:class:`~repro.resilience.ResilientCommunicator` +
+checkpoint-restart) over *seeded* schedules of mid-run faults:
+
+* **fault scenarios** — each draws a fault class, strike call index and
+  victim rank from a seeded RNG, trains a tiny model through the sabotaged
+  communicator wrapped in the resilient layer, and asserts the loss
+  trajectory matches the fault-free baseline bitwise;
+* **crash-resume scenario** — a run writing periodic atomic train-state
+  snapshots is killed by a :class:`SimulatedCrash` exception mid-run, then
+  restarted with ``Trainer.fit(resume_from=...)``; the replayed
+  :class:`~repro.engine.TrainRecord` history must equal the uninterrupted
+  run's history exactly.
+
+CLI (exit 0 iff every scenario recovered)::
+
+    python -m repro.resilience.chaos --seed 0 --faults 3
+
+The module also exports a session-scoped pytest fixture, ``chaos_report``
+(enable with ``pytest_plugins = ("repro.resilience.chaos",)``), so test
+suites can assert against one shared chaos run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine import BurstEngine, EngineConfig, Trainer
+from repro.nn import TransformerConfig
+from repro.nn.rng import set_seed
+from repro.resilience.comm import FaultMonitor, ResilientCommunicator
+from repro.testing.faults import FAULT_REGISTRY, make_fault
+from repro.topology import a800_node, make_cluster
+
+NUM_GPUS = 4
+#: Loss trajectories must match the fault-free run to this max-abs budget;
+#: recovery retransmits exact payload copies, so the match is bitwise and
+#: the budget exists only to make the assertion's intent explicit.
+LOSS_TOLERANCE = 1e-12
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised mid-run to emulate a process kill / node loss."""
+
+
+def _topology():
+    return make_cluster(NUM_GPUS, node=a800_node(gpus_per_node=NUM_GPUS))
+
+
+def _make_engine(method: str = "burst", comm=None) -> BurstEngine:
+    config = EngineConfig(
+        model=TransformerConfig(
+            vocab_size=32, dim=16, n_layers=1, n_heads=4, ffn_hidden=24,
+            max_seq_len=32, attn_block_size=8, seed=1,
+        ),
+        method=method, num_gpus=NUM_GPUS, gpus_per_node=NUM_GPUS, lr=3e-3,
+    )
+    if comm is not None:
+        return BurstEngine(config, comm=comm)
+    return BurstEngine(config, topology=_topology())
+
+
+def _make_batches(seed: int = 0, n: int = 2, seq: int = 32, vocab: int = 32):
+    rng = np.random.default_rng(seed)
+    batches = []
+    for _ in range(n):
+        ids = rng.integers(0, vocab, size=seq)
+        batches.append((ids, np.roll(ids, -1)))
+    return batches
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one recovered-fault training run."""
+
+    description: str
+    injections: int
+    faults_detected: int
+    recoveries: int
+    max_loss_diff: float
+    ok: bool
+
+    def summary(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        return (
+            f"[{status}] {self.description}: injected={self.injections} "
+            f"detected={self.faults_detected} recovered={self.recoveries} "
+            f"max|Δloss|={self.max_loss_diff:.2e}"
+        )
+
+
+@dataclass
+class CrashResult:
+    """Outcome of the crash-and-resume determinism scenario."""
+
+    crash_step: int
+    resume_step: int
+    steps: int
+    records_match: bool
+
+    @property
+    def ok(self) -> bool:
+        return self.records_match
+
+    def summary(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        return (
+            f"[{status}] crash after step {self.crash_step}, resumed from "
+            f"snapshot at step {self.resume_step}, replayed to {self.steps} "
+            f"steps: history {'bitwise identical' if self.records_match else 'DIVERGED'}"
+        )
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run produced."""
+
+    seed: int
+    method: str
+    steps: int
+    baseline_losses: list[float]
+    scenarios: list[ScenarioResult] = field(default_factory=list)
+    crash: CrashResult | None = None
+
+    @property
+    def ok(self) -> bool:
+        return all(s.ok for s in self.scenarios) and (
+            self.crash is None or self.crash.ok
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"chaos run: seed={self.seed} method={self.method} "
+            f"steps={self.steps} scenarios={len(self.scenarios)}"
+        ]
+        lines.extend(s.summary() for s in self.scenarios)
+        if self.crash is not None:
+            lines.append(self.crash.summary())
+        lines.append("CHAOS OK" if self.ok else "CHAOS FAILED")
+        return "\n".join(lines)
+
+
+def _baseline_losses(method: str, batches, steps: int) -> list[float]:
+    set_seed(0)
+    trainer = Trainer(_make_engine(method), clip_norm=1.0)
+    trainer.fit(batches, steps)
+    return trainer.losses()
+
+
+def run_fault_scenarios(
+    *,
+    seed: int,
+    n_faults: int,
+    method: str,
+    batches,
+    steps: int,
+    baseline: list[float],
+) -> list[ScenarioResult]:
+    """Train through seeded single-site faults behind the resilient layer."""
+    rng = np.random.default_rng(seed)
+    names = sorted(FAULT_REGISTRY)
+    results = []
+    for _ in range(n_faults):
+        name = names[int(rng.integers(len(names)))]
+        at_call = int(rng.integers(1, 10))
+        victim = int(rng.integers(NUM_GPUS))
+        fault = make_fault(name, _topology(), at_call=at_call, victim=victim)
+        monitor = FaultMonitor()
+        comm = ResilientCommunicator(fault, monitor=monitor)
+        set_seed(0)
+        trainer = Trainer(_make_engine(method, comm=comm), clip_norm=1.0)
+        trainer.fit(batches, steps)
+        diff = float(
+            np.max(np.abs(np.asarray(trainer.losses()) - np.asarray(baseline)))
+        )
+        results.append(
+            ScenarioResult(
+                description=f"{fault.describe()} victim={victim}",
+                injections=fault.injections,
+                faults_detected=monitor.total_faults,
+                recoveries=monitor.total_recoveries,
+                max_loss_diff=diff,
+                ok=diff <= LOSS_TOLERANCE and fault.injections >= 1,
+            )
+        )
+    return results
+
+
+def run_crash_resume(
+    *,
+    method: str,
+    batches,
+    steps: int = 6,
+    crash_after: int = 4,
+    save_every: int = 2,
+) -> CrashResult:
+    """Kill a snapshotting run mid-flight, resume, and compare histories."""
+    with tempfile.TemporaryDirectory() as tmpdir:
+        state_path = os.path.join(tmpdir, "train_state.npz")
+
+        # The run that never crashes — ground truth history.
+        set_seed(0)
+        uninterrupted = Trainer(_make_engine(method), clip_norm=1.0)
+        uninterrupted.fit(batches, steps)
+
+        # The run that dies right after completing step `crash_after`.
+        def crash(trainer: Trainer, record) -> None:
+            if record.step == crash_after:
+                raise SimulatedCrash(f"simulated kill after step {record.step}")
+
+        set_seed(0)
+        doomed = Trainer(
+            _make_engine(method), clip_norm=1.0,
+            state_path=state_path, save_every=save_every, on_step_end=crash,
+        )
+        try:
+            doomed.fit(batches, steps)
+            raise RuntimeError("simulated crash did not fire")
+        except SimulatedCrash:
+            pass
+
+        # A fresh "process": new engine, deliberately scrambled RNG — the
+        # snapshot must restore every bit of state that matters.
+        set_seed(987654321)
+        resumed = Trainer(_make_engine(method), clip_norm=1.0)
+        resumed.fit(batches, steps, resume_from=state_path)
+
+        return CrashResult(
+            crash_step=crash_after,
+            resume_step=(crash_after // save_every) * save_every,
+            steps=steps,
+            records_match=resumed.history == uninterrupted.history,
+        )
+
+
+def run_chaos(
+    seed: int = 0,
+    n_faults: int = 3,
+    steps: int = 4,
+    method: str = "burst",
+    crash: bool = True,
+) -> ChaosReport:
+    """Run the full chaos schedule; see the module docstring."""
+    batches = _make_batches(seed=0)
+    baseline = _baseline_losses(method, batches, steps)
+    report = ChaosReport(
+        seed=seed, method=method, steps=steps, baseline_losses=baseline
+    )
+    report.scenarios = run_fault_scenarios(
+        seed=seed, n_faults=n_faults, method=method, batches=batches,
+        steps=steps, baseline=baseline,
+    )
+    if crash:
+        report.crash = run_crash_resume(method=method, batches=batches)
+    return report
+
+
+# --- pytest integration ------------------------------------------------------
+
+try:  # pragma: no cover - import guard
+    import pytest as _pytest
+except ImportError:  # pragma: no cover
+    _pytest = None
+
+if _pytest is not None:
+    @_pytest.fixture(scope="session")
+    def chaos_report() -> ChaosReport:
+        """One shared chaos-recovery run (seed 0) for the whole session."""
+        return run_chaos(seed=0, n_faults=2)
+
+
+# --- CLI ---------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience.chaos",
+        description="Chaos-recovery runner: inject faults mid-run and assert "
+        "the recovered loss trajectories match the fault-free run.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="scenario RNG seed")
+    parser.add_argument("--faults", type=int, default=3,
+                        help="number of seeded fault scenarios")
+    parser.add_argument("--steps", type=int, default=4,
+                        help="training steps per scenario")
+    parser.add_argument("--method", default="burst",
+                        help="distributed attention method under test")
+    parser.add_argument("--skip-crash", action="store_true",
+                        help="skip the crash-and-resume scenario")
+    args = parser.parse_args(argv)
+
+    report = run_chaos(
+        seed=args.seed, n_faults=args.faults, steps=args.steps,
+        method=args.method, crash=not args.skip_crash,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -126,6 +126,130 @@ class TestSerialization:
         with pytest.raises(KeyError):
             load_model(bigger, path)
 
+    def test_save_is_atomic_on_crash(self, tmp_path, monkeypatch):
+        """A crash mid-save must never truncate the previous checkpoint:
+        the write goes to a tmp file and only an intact file is renamed
+        over the target."""
+        model = TransformerLM(tiny_cfg())
+        path = str(tmp_path / "best.npz")
+        save_model(model, path)
+        good = {n: p.data.copy() for n, p in model.named_parameters()}
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez", boom)
+        with pytest.raises(OSError):
+            save_model(model, path)
+        monkeypatch.undo()
+
+        # The original checkpoint is intact and no tmp litter remains.
+        other = TransformerLM(tiny_cfg(seed=99))
+        load_model(other, path)
+        for name, p in other.named_parameters():
+            np.testing.assert_array_equal(p.data, good[name])
+        assert [f.name for f in tmp_path.iterdir()] == ["best.npz"]
+
+    def test_load_detects_corruption(self, tmp_path):
+        """Flipping bytes in a saved checkpoint fails the manifest checksum
+        with a clear error instead of loading garbage weights."""
+        from repro.nn.serialization import CHECKSUM_KEY, CheckpointError
+
+        model = TransformerLM(tiny_cfg())
+        path = str(tmp_path / "ckpt.npz")
+        save_model(model, path)
+
+        with np.load(path) as data:
+            entries = {name: data[name] for name in data.files}
+        victim = next(k for k in entries if k != CHECKSUM_KEY)
+        entries[victim] = entries[victim] + 1.0  # bit rot
+        np.savez(path, **entries)  # keeps the stale checksum
+
+        with pytest.raises(CheckpointError, match="checksum"):
+            load_model(model, path)
+
+    def test_legacy_checkpoint_without_checksum_loads(self, tmp_path):
+        """Pre-manifest checkpoints (plain npz of parameters) still load."""
+        model = TransformerLM(tiny_cfg())
+        path = str(tmp_path / "legacy.npz")
+        np.savez(path, **{n: p.data for n, p in model.named_parameters()})
+        fresh = TransformerLM(tiny_cfg(seed=99))
+        assert load_model(fresh, path) == []
+        for (_, a), (_, b) in zip(sorted(model.named_parameters()),
+                                  sorted(fresh.named_parameters())):
+            np.testing.assert_array_equal(a.data, b.data)
+
+
+class TestTrainStateSnapshot:
+    def test_roundtrip_and_corruption(self, tmp_path):
+        from repro.nn import Adam
+        from repro.nn.serialization import (
+            CheckpointError, load_train_state, save_train_state,
+        )
+
+        model = TransformerLM(tiny_cfg())
+        opt = Adam(model.parameters(), lr=1e-3)
+        ids = np.arange(8) % 32
+        loss = model(ids, np.roll(ids, -1))
+        loss.backward()
+        opt.step()
+
+        path = str(tmp_path / "state.npz")
+        save_train_state(
+            path, model, opt, step=1, micro=1,
+            history=[{"step": 0, "loss": 3.5, "lr": 1e-3,
+                      "grad_norm": 0.9, "eval_loss": None}],
+            best_eval=3.5,
+        )
+
+        model2 = TransformerLM(tiny_cfg(seed=99))
+        opt2 = Adam(model2.parameters(), lr=1e-3)
+        meta = load_train_state(path, model2, opt2)
+        assert meta["step"] == 1
+        assert meta["best_eval"] == 3.5
+        assert meta["history"][0]["loss"] == 3.5
+        assert opt2.t == opt.t
+        for a, b in zip(opt._m, opt2._m):
+            np.testing.assert_array_equal(a, b)
+        for (_, a), (_, b) in zip(sorted(model.named_parameters()),
+                                  sorted(model2.named_parameters())):
+            np.testing.assert_array_equal(a.data, b.data)
+
+        # Model-only checkpoints are not train-state snapshots.
+        model_only = str(tmp_path / "model.npz")
+        save_model(model, model_only)
+        with pytest.raises(CheckpointError, match="train-state"):
+            load_train_state(model_only, model2, opt2)
+
+    def test_rng_stream_roundtrip(self, tmp_path):
+        from repro.nn import Adam
+        from repro.nn.rng import draw_seed, get_rng_state, set_seed
+        from repro.nn.serialization import load_train_state, save_train_state
+
+        model = TransformerLM(tiny_cfg())
+        opt = Adam(model.parameters(), lr=1e-3)
+        set_seed(123)
+        draw_seed()  # advance the stream
+        expected_next = get_rng_state()
+        path = str(tmp_path / "state.npz")
+        save_train_state(path, model, opt, step=0)
+
+        set_seed(999)  # scramble
+        load_train_state(path, model, opt)
+        assert get_rng_state() == expected_next
+
+    def test_optimizer_kind_mismatch_rejected(self, tmp_path):
+        from repro.nn import SGD, Adam
+        from repro.nn.serialization import load_train_state, save_train_state
+
+        model = TransformerLM(tiny_cfg())
+        opt = Adam(model.parameters(), lr=1e-3)
+        path = str(tmp_path / "state.npz")
+        save_train_state(path, model, opt, step=0)
+        sgd = SGD(model.parameters(), lr=1e-2)
+        with pytest.raises(ValueError, match="Adam"):
+            load_train_state(path, model, sgd)
+
 
 class TestTrainer:
     def make_engine(self):
