@@ -1,8 +1,17 @@
 """Microbenchmarks of the numeric kernels (real runtime, regression
 guard): blockwise flash attention fwd/bwd, online-softmax merge, and the
-end-to-end simulated training step."""
+end-to-end simulated training step.
+
+Alongside pytest-benchmark's text table, the run writes
+``benchmarks/results/kernels.json`` with per-test timing stats so the
+numbers are machine-readable (same spirit as the ``BENCH_*.json`` files
+that ``python -m repro.perf.bench`` maintains at the repo root)."""
+
+import json
+import os
 
 import numpy as np
+import pytest
 
 from repro.engine import BurstEngine, EngineConfig
 from repro.kernels import (
@@ -16,6 +25,38 @@ from repro.topology import a800_node, make_cluster
 
 
 RNG = np.random.default_rng(0)
+
+_JSON_PATH = os.path.join(os.path.dirname(__file__), "results", "kernels.json")
+_JSON_ROWS: list = []
+
+
+@pytest.fixture(autouse=True)
+def _emit_kernel_json(request):
+    """Mirror each benchmark's stats into ``results/kernels.json``.
+
+    Rewritten after every test so a partial (``-k``-filtered) run still
+    leaves a valid file; silently does nothing under
+    ``--benchmark-disable``, where no stats exist."""
+    yield
+    fixture = request.node.funcargs.get("benchmark")
+    stats = getattr(getattr(fixture, "stats", None), "stats", None)
+    if stats is None or not getattr(stats, "data", None):
+        return
+    _JSON_ROWS.append({
+        "name": request.node.name,
+        "min_s": stats.min,
+        "mean_s": stats.mean,
+        "median_s": stats.median,
+        "stddev_s": stats.stddev,
+        "rounds": stats.rounds,
+    })
+    os.makedirs(os.path.dirname(_JSON_PATH), exist_ok=True)
+    with open(_JSON_PATH, "w") as fh:
+        json.dump(
+            {"suite": "kernel-microbench", "results": _JSON_ROWS}, fh,
+            indent=2,
+        )
+        fh.write("\n")
 
 
 def _qkv(s=256, d=32, h=4):

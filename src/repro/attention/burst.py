@@ -30,9 +30,14 @@ from typing import Sequence
 import numpy as np
 
 from repro.comm import RingSchedule, SimCommunicator
-from repro.kernels.softmax import NEG_INF
+from repro.kernels import (
+    BiasTileCache,
+    KernelWorkspace,
+    TilePlan,
+    flash_backward_tiles,
+)
 from repro.masks import MaskPattern
-from repro.attention.ring import _tile_bias, _tile_mask
+from repro.attention.ring import _resolve_tiles
 
 
 def _tile_backward_qgrad(
@@ -47,6 +52,8 @@ def _tile_backward_qgrad(
     block_q: int,
     block_k: int,
     bias: np.ndarray | None = None,
+    plan: TilePlan | None = None,
+    workspace: KernelWorkspace | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """One Algorithm-2 device step: given the circulating query-side bundle
     and the pinned ``(K_i, V_i)``, compute ``(dQ_j part, dK_i part, dV_i
@@ -55,44 +62,16 @@ def _tile_backward_qgrad(
     This mirrors lines 7–13 of Algorithm 2 with ``D_j``/``Lse_j`` taken
     from the ring instead of recomputed (the paper's Algorithm 2 line 11
     writes ``D_i``; the derivation in Eq. 7–8 shows the query-side ``D_j``
-    is the quantity required, which is what travels).
+    is the quantity required, which is what travels).  The tile loop is
+    :func:`repro.kernels.flash_backward_tiles` — the same backward core as
+    :func:`~repro.kernels.flash_attention_backward` minus the local ``D``
+    recomputation, so it consumes tile plans and workspaces natively.
     """
-    sq, sk = q_j.shape[-2], k_i.shape[-2]
-    dq_j = np.zeros_like(q_j)
-    dk_i = np.zeros_like(k_i)
-    dv_i = np.zeros_like(v_i)
-    lse_safe = np.where(np.isneginf(lse_j), 0.0, lse_j)[..., None]
-    dead = np.isneginf(lse_j)[..., None]
-
-    for q0 in range(0, sq, block_q):
-        q1 = min(q0 + block_q, sq)
-        q_blk = q_j[..., q0:q1, :]
-        do_blk = do_j[..., q0:q1, :]
-        d_blk = d_j[..., q0:q1]
-        lse_blk = lse_safe[..., q0:q1, :]
-        dead_blk = dead[..., q0:q1, :]
-        for k0 in range(0, sk, block_k):
-            k1 = min(k0 + block_k, sk)
-            sub = None if tile is None else tile[..., q0:q1, k0:k1]
-            if sub is not None and not sub.any():
-                continue
-            k_blk = k_i[..., k0:k1, :]
-            v_blk = v_i[..., k0:k1, :]
-            s = np.matmul(q_blk, np.swapaxes(k_blk, -1, -2)) * scale
-            if bias is not None:
-                s = s + bias[..., q0:q1, k0:k1]
-            if sub is not None:
-                s = np.where(sub, s, NEG_INF)
-            p = np.exp(s - lse_blk)
-            p = np.where(dead_blk, 0.0, p)
-            if sub is not None:
-                p = np.where(sub, p, 0.0)
-            dv_i[..., k0:k1, :] += np.matmul(np.swapaxes(p, -1, -2), do_blk)
-            dp = np.matmul(do_blk, np.swapaxes(v_blk, -1, -2))
-            ds = p * (dp - d_blk[..., None])
-            dq_j[..., q0:q1, :] += np.matmul(ds, k_blk) * scale
-            dk_i[..., k0:k1, :] += np.matmul(np.swapaxes(ds, -1, -2), q_blk) * scale
-    return dq_j, dk_i, dv_i
+    return flash_backward_tiles(
+        q_j, k_i, v_i, lse_j, d_j, do_j,
+        mask=tile, scale=scale, block_q=block_q, block_k=block_k,
+        bias=bias, plan=plan, workspace=workspace,
+    )
 
 
 def burst_attention_backward(
@@ -128,6 +107,8 @@ def burst_attention_backward(
     # D_i computed once, locally, before the ring starts (Alg. 2 line 2).
     ds = [np.sum(dos[r] * os[r], axis=-1) for r in range(g)]
 
+    bias_cache = BiasTileCache()
+    workspace = KernelWorkspace()
     bufs: list[object] = [
         (
             qs[r].copy(),
@@ -144,13 +125,15 @@ def burst_attention_backward(
             j = origins[t][r]
             q_j, dq_j, do_j, d_j, lse_j = bufs[r]
             # Queries are shard j, keys/values are pinned shard r.
-            tile, skip = _tile_mask(mask, idxs[j], idxs[r])
+            skip, plan, tile, bias = _resolve_tiles(
+                mask, idxs[j], idxs[r], block_size, bias_cache
+            )
             if skip:
                 continue
             dq_part, dk_part, dv_part = _tile_backward_qgrad(
                 q_j, ks[r], vs[r], do_j, d_j, lse_j, tile, scale,
                 block_size, block_size,
-                bias=_tile_bias(mask, idxs[j], idxs[r]),
+                bias=bias, plan=plan, workspace=workspace,
             )
             dks[r] += dk_part
             dvs[r] += dv_part

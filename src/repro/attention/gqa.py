@@ -31,12 +31,13 @@ import numpy as np
 
 from repro.attention.burst import burst_attention_backward
 from repro.attention.ring import (
-    _tile_bias,
-    _tile_mask,
+    _resolve_tiles,
     ring_attention_forward,
 )
 from repro.comm import RingSchedule, SimCommunicator
 from repro.kernels import (
+    BiasTileCache,
+    KernelWorkspace,
     attention_reference,
     attention_reference_backward,
     flash_attention_backward,
@@ -167,6 +168,8 @@ def gqa_ring_backward_kv(
     steps = schedule.num_steps
 
     dqs = [np.zeros_like(q) for q in qs]
+    bias_cache = BiasTileCache()
+    workspace = KernelWorkspace()
     bufs: list[object] = [
         (ks[r].copy(), vs[r].copy(), np.zeros_like(ks[r]), np.zeros_like(vs[r]))
         for r in range(g)
@@ -175,14 +178,16 @@ def gqa_ring_backward_kv(
         for r in range(g):
             j = origins[t][r]
             k_j, v_j, dk_j, dv_j = bufs[r]
-            tile, skip = _tile_mask(mask, idxs[r], idxs[j])
+            skip, plan, tile, bias = _resolve_tiles(
+                mask, idxs[r], idxs[j], block_size, bias_cache
+            )
             if skip:
                 continue
             dq_part, dk_part, dv_part = flash_attention_backward(
                 qs[r], repeat_kv(k_j, groups), repeat_kv(v_j, groups),
                 os[r], lses[r], dos[r], mask=tile, scale=scale,
                 block_q=block_size, block_k=block_size,
-                bias=_tile_bias(mask, idxs[r], idxs[j]),
+                bias=bias, plan=plan, workspace=workspace,
             )
             dqs[r] += dq_part
             bufs[r] = (
@@ -231,18 +236,22 @@ def gqa_ring_forward(
         for i, q in enumerate(qs)
     ]
     lses = [np.full(q.shape[:-1], NEG_INF, dtype=np.float64) for q in qs]
+    bias_cache = BiasTileCache()
+    workspace = KernelWorkspace()
     bufs: list[object] = [(ks[r].copy(), vs[r].copy()) for r in range(g)]
     for t in range(steps):
         for r in range(g):
             j = origins[t][r]
             k_j, v_j = bufs[r]
-            tile, skip = _tile_mask(mask, idxs[r], idxs[j])
+            skip, plan, tile, bias = _resolve_tiles(
+                mask, idxs[r], idxs[j], block_size, bias_cache
+            )
             if skip:
                 continue
             o_part, lse_part = flash_attention_forward(
                 qs[r], repeat_kv(k_j, groups), repeat_kv(v_j, groups),
                 mask=tile, scale=scale, block_q=block_size, block_k=block_size,
-                bias=_tile_bias(mask, idxs[r], idxs[j]),
+                bias=bias, plan=plan, workspace=workspace,
             )
             os[r], lses[r] = merge_states(os[r], lses[r], o_part, lse_part)
         if t < steps - 1:

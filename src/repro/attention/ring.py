@@ -28,7 +28,15 @@ from typing import Sequence
 import numpy as np
 
 from repro.comm import RingSchedule, SimCommunicator
-from repro.kernels import flash_attention_backward, flash_attention_forward
+from repro.kernels import (
+    BiasTileCache,
+    KernelWorkspace,
+    TilePlan,
+    flash_attention_backward,
+    flash_attention_forward,
+    planning_enabled,
+    record_shard_skip,
+)
 from repro.kernels.softmax import NEG_INF, merge_states
 from repro.masks import MaskPattern
 
@@ -36,11 +44,13 @@ from repro.masks import MaskPattern
 def _tile_mask(
     mask: MaskPattern | None, q_idx: np.ndarray, k_idx: np.ndarray
 ) -> tuple[np.ndarray | None, bool]:
-    """Resolve the mask tile between two shards.
+    """Resolve the dense mask tile between two shards (legacy baseline).
 
     Returns ``(tile_or_None, skip)`` — ``skip`` means the tile is entirely
     masked and contributes nothing; a ``None`` tile with ``skip=False``
     means unmasked (full) attention, letting the kernel skip mask handling.
+    Materialises the shard-pair mask for partial tiles; the plan-driven
+    path (:func:`_resolve_tiles`) never does.
     """
     if mask is None:
         return None, False
@@ -59,6 +69,43 @@ def _tile_bias(
     if mask is None:
         return None
     return mask.bias_block(q_idx, k_idx)
+
+
+def _resolve_tiles(
+    mask: MaskPattern | None,
+    q_idx: np.ndarray,
+    k_idx: np.ndarray,
+    block_size: int,
+    bias_cache: BiasTileCache | None = None,
+    *,
+    include_bias: bool = True,
+) -> tuple[bool, TilePlan | None, np.ndarray | None, np.ndarray | None]:
+    """Resolve how the kernel should see one (query-shard, key-shard) pair.
+
+    Returns ``(skip, plan, dense_tile, dense_bias)``.  With planning
+    enabled (the default) partial shard pairs come back as a
+    :class:`~repro.kernels.TilePlan` — sub-tiles classified per block,
+    dense mask never materialised; with ``use_planning(False)`` the legacy
+    ``(dense_tile, dense_bias)`` arrays are returned instead, which is the
+    baseline the bench harness measures against.
+    """
+    if mask is None:
+        return False, None, None, None
+    state = mask.tile_state(q_idx, k_idx)
+    if state == "empty":
+        if planning_enabled():
+            record_shard_skip(len(q_idx), len(k_idx), block_size, block_size)
+        return True, None, None, None
+    if planning_enabled():
+        plan = TilePlan.build(
+            mask, q_idx, k_idx, block_size, block_size,
+            bias_cache=bias_cache, include_bias=include_bias,
+            assume_full=(state == "full"),
+        )
+        return False, plan, None, None
+    tile = mask.block(q_idx, k_idx) if state == "partial" else None
+    bias = mask.bias_block(q_idx, k_idx) if include_bias else None
+    return False, None, tile, bias
 
 
 def ring_attention_forward(
@@ -109,18 +156,22 @@ def ring_attention_forward(
         np.full(q.shape[:-1], NEG_INF, dtype=np.float64) for q in qs
     ]
 
+    bias_cache = BiasTileCache()
+    workspace = KernelWorkspace()
     bufs: list[object] = [(ks[r].copy(), vs[r].copy()) for r in range(g)]
     for t in range(steps):
         for r in range(g):
             j = origins[t][r]
             k_j, v_j = bufs[r]
-            tile, skip = _tile_mask(mask, idxs[r], idxs[j])
+            skip, plan, tile, bias = _resolve_tiles(
+                mask, idxs[r], idxs[j], block_size, bias_cache
+            )
             if skip:
                 continue
             o_part, lse_part = flash_attention_forward(
                 qs[r], k_j, v_j, mask=tile, scale=scale,
                 block_q=block_size, block_k=block_size,
-                bias=_tile_bias(mask, idxs[r], idxs[j]),
+                bias=bias, plan=plan, workspace=workspace,
             )
             os[r], lses[r] = merge_states(os[r], lses[r], o_part, lse_part)
         if t < steps - 1:
@@ -160,6 +211,8 @@ def ring_attention_backward_kv(
     steps = schedule.num_steps
 
     dqs = [np.zeros_like(q) for q in qs]
+    bias_cache = BiasTileCache()
+    workspace = KernelWorkspace()
     bufs: list[object] = [
         (ks[r].copy(), vs[r].copy(), np.zeros_like(ks[r]), np.zeros_like(vs[r]))
         for r in range(g)
@@ -169,7 +222,9 @@ def ring_attention_backward_kv(
         for r in range(g):
             j = origins[t][r]
             k_j, v_j, dk_j, dv_j = bufs[r]
-            tile, skip = _tile_mask(mask, idxs[r], idxs[j])
+            skip, plan, tile, bias = _resolve_tiles(
+                mask, idxs[r], idxs[j], block_size, bias_cache
+            )
             if skip:
                 continue
             # Note: Algorithm 1 recomputes D_i = rowsum(dO_i * O_i) every
@@ -179,7 +234,7 @@ def ring_attention_backward_kv(
                 qs[r], k_j, v_j, os[r], lses[r], dos[r],
                 mask=tile, scale=scale,
                 block_q=block_size, block_k=block_size,
-                bias=_tile_bias(mask, idxs[r], idxs[j]),
+                bias=bias, plan=plan, workspace=workspace,
             )
             dqs[r] += dq_part
             bufs[r] = (k_j, v_j, dk_j + dk_part, dv_j + dv_part)

@@ -28,9 +28,9 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.attention.ring import _tile_mask
+from repro.attention.ring import _resolve_tiles
 from repro.comm import SimCommunicator
-from repro.kernels import flash_attention_forward
+from repro.kernels import KernelWorkspace, flash_attention_forward
 from repro.kernels.softmax import NEG_INF, merge_states
 from repro.masks import MaskPattern
 
@@ -84,6 +84,7 @@ def selective_attention_forward(
         for i, q in enumerate(qs)
     ]
     lses = [np.full(q.shape[:-1], NEG_INF, dtype=np.float64) for q in qs]
+    workspace = KernelWorkspace()
     for i in range(g):
         for j in range(g):
             if not need[i, j]:
@@ -93,12 +94,17 @@ def selective_attention_forward(
                 if i == j
                 else comm.send(j, i, (ks[j], vs[j]), phase=phase, tag="sel-kv")
             )
-            tile, skip = _tile_mask(mask, idxs[i], idxs[j])
+            # This path has never forwarded the pattern's bias (selective
+            # fetch is mask-structure only), so the plan omits it too.
+            skip, plan, tile, _ = _resolve_tiles(
+                mask, idxs[i], idxs[j], block_size, include_bias=False
+            )
             if skip:
                 continue
             o_part, lse_part = flash_attention_forward(
                 qs[i], k_j, v_j, mask=tile, scale=scale,
                 block_q=block_size, block_k=block_size,
+                plan=plan, workspace=workspace,
             )
             os[i], lses[i] = merge_states(os[i], lses[i], o_part, lse_part)
     return os, lses
@@ -138,11 +144,14 @@ def selective_attention_backward(
     dks = [np.zeros_like(k) for k in ks]
     dvs = [np.zeros_like(v) for v in vs]
 
+    workspace = KernelWorkspace()
     for i in range(g):
         for j in range(g):
             if not need[i, j]:
                 continue
-            tile, skip = _tile_mask(mask, idxs[i], idxs[j])
+            skip, plan, tile, _ = _resolve_tiles(
+                mask, idxs[i], idxs[j], block_size, include_bias=False
+            )
             if skip:
                 continue
             if i == j:
@@ -155,6 +164,7 @@ def selective_attention_backward(
             dq_part, dk_part, dv_part = _tile_backward_qgrad(
                 q_i, ks[j], vs[j], do_i, d_i, lse_i, tile, scale,
                 block_size, block_size,
+                plan=plan, workspace=workspace,
             )
             dks[j] += dk_part
             dvs[j] += dv_part

@@ -22,7 +22,14 @@ from typing import Sequence
 import numpy as np
 
 from repro.comm import SimCommunicator
-from repro.kernels import flash_attention_backward, flash_attention_forward
+from repro.kernels import (
+    BiasTileCache,
+    KernelWorkspace,
+    TilePlan,
+    flash_attention_backward,
+    flash_attention_forward,
+    planning_enabled,
+)
 from repro.masks import MaskPattern
 
 
@@ -56,6 +63,7 @@ class UlyssesContext:
     scale: float
     block_size: int
     bias_slices: list | None = None  # per-rank head slice of the ALiBi bias
+    plans: list[TilePlan] | None = None  # per-rank full-sequence tile plans
 
 
 def _split_heads(x: np.ndarray, g: int) -> list[np.ndarray]:
@@ -117,24 +125,46 @@ def ulysses_attention_forward(
         k_h.append(np.concatenate([received[r][s][1] for s in range(g)], axis=-2))
         v_h.append(np.concatenate([received[r][s][2] for s in range(g)], axis=-2))
 
-    mask_dense = mask.dense(n) if mask is not None else None
+    mask_dense = None
     bias_slices = None
+    plans = None
+    hh = h // g
     if mask is not None:
         idx = np.arange(n)
-        bias_full = mask.bias_block(idx, idx)
-        if bias_full is not None:
-            if bias_full.ndim != 3 or bias_full.shape[0] != h:
-                raise ValueError(
-                    "Ulysses needs a per-head bias matching the head count"
-                )
-            hh = h // g
-            bias_slices = [bias_full[r * hh : (r + 1) * hh] for r in range(g)]
+        # Validate per-head bias geometry from a 1x1 probe tile — the full
+        # (H, N, N) bias is never materialised on the plan path.
+        probe = mask.bias_block(idx[:1], idx[:1])
+        if probe is not None and (probe.ndim != 3 or probe.shape[0] != h):
+            raise ValueError(
+                "Ulysses needs a per-head bias matching the head count"
+            )
+        if planning_enabled():
+            # All ranks see the same full-sequence tile grid and bias
+            # cache; each views its own head group of the bias tiles.
+            base = TilePlan.build(
+                mask, idx, idx, block_size, block_size,
+                bias_cache=BiasTileCache(),
+            )
+            plans = [
+                base.with_head_slice(slice(r * hh, (r + 1) * hh))
+                for r in range(g)
+            ]
+        else:
+            mask_dense = mask.dense(n)
+            bias_full = mask.bias_block(idx, idx)
+            if bias_full is not None:
+                bias_slices = [
+                    bias_full[r * hh : (r + 1) * hh] for r in range(g)
+                ]
+    workspace = KernelWorkspace()
     o_h, lse_h = [], []
     for r in range(g):
         o, lse = flash_attention_forward(
             q_h[r], k_h[r], v_h[r], mask=mask_dense, scale=scale,
             block_q=block_size, block_k=block_size,
             bias=None if bias_slices is None else bias_slices[r],
+            plan=None if plans is None else plans[r],
+            workspace=workspace,
         )
         o_h.append(o)
         lse_h.append(lse)
@@ -158,7 +188,7 @@ def ulysses_attention_forward(
         q_h=q_h, k_h=k_h, v_h=v_h, o_h=o_h, lse_h=lse_h,
         seq_sizes=seq_sizes, heads_per_rank=h // g,
         mask_dense=mask_dense, scale=scale, block_size=block_size,
-        bias_slices=bias_slices,
+        bias_slices=bias_slices, plans=plans,
     )
     return os_out, lses_out, ctx
 
@@ -179,12 +209,15 @@ def ulysses_attention_backward(
     ]
 
     dq_h, dk_h, dv_h = [], [], []
+    workspace = KernelWorkspace()
     for r in range(g):
         dq, dk, dv = flash_attention_backward(
             ctx.q_h[r], ctx.k_h[r], ctx.v_h[r], ctx.o_h[r], ctx.lse_h[r],
             do_h[r], mask=ctx.mask_dense, scale=ctx.scale,
             block_q=ctx.block_size, block_k=ctx.block_size,
             bias=None if ctx.bias_slices is None else ctx.bias_slices[r],
+            plan=None if ctx.plans is None else ctx.plans[r],
+            workspace=workspace,
         )
         dq_h.append(dq)
         dk_h.append(dk)

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.attention.methods import DistributedAttention
 from repro.comm import SimCommunicator
-from repro.kernels import flash_attention_forward
+from repro.kernels import TilePlan, flash_attention_forward, planning_enabled
 from repro.masks import MaskPattern
 from repro.nn.attention_fn import _attention_flops, _mask_pairs
 from repro.nn.checkpoint import (
@@ -35,6 +35,22 @@ from repro.nn.function import Function
 from repro.nn.memory import get_tracker
 from repro.nn.modules import CausalSelfAttention
 from repro.nn.tensor import Tensor, is_grad_enabled
+
+
+def _local_mask(
+    mask: MaskPattern | None, s: int, block_size: int
+) -> tuple[np.ndarray | None, TilePlan | None]:
+    """Resolve a full-sequence local mask as ``(dense, plan)`` — exactly
+    one is non-``None`` when a mask exists.  These local paths have never
+    forwarded the pattern's bias, so neither does the plan."""
+    if mask is None:
+        return None, None
+    if planning_enabled():
+        idx = np.arange(s)
+        return None, TilePlan.build(
+            mask, idx, idx, block_size, block_size, include_bias=False
+        )
+    return mask.dense(s), None
 
 
 class DistributedAttentionFn(Function):
@@ -76,13 +92,14 @@ class DistributedAttentionFn(Function):
             from repro.attention.gqa import repeat_kv
 
             groups = (q.shape[0] // k.shape[0]) if q.ndim == 3 else 1
-            dense = mask.dense(s) if mask is not None else None
+            dense, plan = _local_mask(mask, s, method.block_size)
             o, lse = flash_attention_forward(
                 q, repeat_kv(k, groups), repeat_kv(v, groups), mask=dense,
                 scale=scale, block_q=method.block_size,
-                block_k=method.block_size,
+                block_k=method.block_size, plan=plan,
             )
             self.groups = groups
+            self.fallback_plan = plan
             self.save_for_backward(q, k, v, o, lse)
             return o
 
@@ -101,12 +118,22 @@ class DistributedAttentionFn(Function):
 
             split = int(round(s * policy.split_fraction))
             o_back, lse_back = cached
-            dense = mask.dense(s)[:split, :] if mask is not None else None
+            if mask is not None and planning_enabled():
+                dense = None
+                plan = TilePlan.build(
+                    mask, np.arange(split), np.arange(s),
+                    method.block_size, method.block_size,
+                    include_bias=False,
+                )
+            else:
+                plan = None
+                dense = mask.dense(s)[:split, :] if mask is not None else None
             groups = (q.shape[0] // k.shape[0]) if q.ndim == 3 else 1
             o_front, lse_front = flash_attention_forward(
                 q[..., :split, :], repeat_kv(k, groups), repeat_kv(v, groups),
                 mask=dense, scale=scale,
                 block_q=method.block_size, block_k=method.block_size,
+                plan=plan,
             )
             get_tracker().add_recompute_flops(
                 _attention_flops(_mask_pairs(mask, split, s), heads, head_dim)
@@ -160,11 +187,18 @@ class DistributedAttentionFn(Function):
             from repro.attention.gqa import fold_kv_grad, repeat_kv
             from repro.kernels import flash_attention_backward
 
-            dense = self.mask.dense(q.shape[-2]) if self.mask is not None else None
+            if self.fallback_plan is not None:
+                dense = None
+            else:
+                dense = (
+                    self.mask.dense(q.shape[-2])
+                    if self.mask is not None else None
+                )
             dq, dk, dv = flash_attention_backward(
                 q, repeat_kv(k, self.groups), repeat_kv(v, self.groups),
                 o, lse, grad_out, mask=dense, scale=self.scale,
                 block_q=self.method.block_size, block_k=self.method.block_size,
+                plan=self.fallback_plan,
             )
             return dq, fold_kv_grad(dk, self.groups), fold_kv_grad(dv, self.groups)
         method, comm = self.method, self.comm

@@ -21,6 +21,20 @@ from repro.kernels.attention_ref import (
 from repro.kernels.flash import (
     flash_attention_forward,
     flash_attention_backward,
+    flash_backward_tiles,
+)
+from repro.kernels.tileplan import (
+    EMPTY,
+    FULL,
+    PARTIAL,
+    BiasTileCache,
+    KernelWorkspace,
+    TileCounters,
+    TilePlan,
+    counters,
+    planning_enabled,
+    record_shard_skip,
+    use_planning,
 )
 
 __all__ = [
@@ -32,4 +46,16 @@ __all__ = [
     "attention_reference_backward",
     "flash_attention_forward",
     "flash_attention_backward",
+    "flash_backward_tiles",
+    "EMPTY",
+    "FULL",
+    "PARTIAL",
+    "BiasTileCache",
+    "KernelWorkspace",
+    "TileCounters",
+    "TilePlan",
+    "counters",
+    "planning_enabled",
+    "record_shard_skip",
+    "use_planning",
 ]

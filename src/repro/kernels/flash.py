@@ -8,9 +8,25 @@ the backward pass re-forms each score tile from the saved ``lse`` (plus the
 a GPU.  These tiled kernels are what every distributed attention method in
 :mod:`repro.attention` runs locally on each simulated device.
 
-Peak temporary memory is ``O(block_q * block_k)`` instead of
-``O(Sq * Sk)``; numerics match the dense reference to ~1e-12 because the
-tiling is algebraically exact.
+Masking comes in two forms:
+
+* a :class:`~repro.kernels.tileplan.TilePlan` (``plan=``) — the fast path.
+  Sub-tiles the plan classified ``empty`` are skipped before any compute,
+  ``full`` sub-tiles run without mask handling, and a boolean tile is
+  materialised only for ``partial`` sub-tiles.  A
+  :class:`~repro.kernels.tileplan.KernelWorkspace` (``workspace=``)
+  additionally reuses the per-tile score/probability/grad scratch across
+  invocations.  Executed/skipped sub-tiles are tallied in
+  :data:`repro.kernels.tileplan.counters`.
+* a dense boolean array (``mask=``) broadcastable to ``(..., Sq, Sk)`` —
+  the legacy baseline, kept for references, fuzzers and the bench
+  harness's dense-vs-planned comparison.
+
+Both paths are algebraically exact and produce identical results to
+float64 precision; the plan path performs the same floating-point
+operations on non-empty tiles (a full tile's ``where`` over an all-``True``
+mask is the identity), so outputs are bitwise equal.  Peak temporary
+memory is ``O(block_q * block_k)`` instead of ``O(Sq * Sk)``.
 """
 
 from __future__ import annotations
@@ -18,6 +34,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.kernels.softmax import NEG_INF, logsumexp, merge_lse
+from repro.kernels.tileplan import (
+    EMPTY,
+    PARTIAL,
+    KernelWorkspace,
+    TilePlan,
+    counters,
+)
 
 
 DEFAULT_BLOCK = 128
@@ -32,6 +55,40 @@ def _mask_tile(
     return mask[..., q0:q1, k0:k1]
 
 
+def _validate_plan(
+    plan: TilePlan | None,
+    sq: int,
+    sk: int,
+    mask: np.ndarray | None,
+    bias: np.ndarray | None,
+) -> None:
+    if plan is None:
+        return
+    if mask is not None or bias is not None:
+        raise ValueError(
+            "pass either plan= or dense mask=/bias=, not both"
+        )
+    plan.check_geometry(sq, sk)
+
+
+def _resolve_subtile(plan: TilePlan, i: int, j: int, area: int):
+    """Plan lookup for one sub-tile: ``(skip, mask_tile, bias_tile)``,
+    with the execution counters updated."""
+    state = plan.states[i, j]
+    if state == EMPTY:
+        counters.skipped_empty += 1
+        counters.skipped_pairs += area
+        return True, None, None
+    if state == PARTIAL:
+        counters.computed_partial += 1
+        m = plan.mask_tile(i, j)
+    else:
+        counters.computed_full += 1
+        m = None
+    counters.computed_pairs += area
+    return False, m, plan.bias_tile(i, j)
+
+
 def flash_attention_forward(
     q: np.ndarray,
     k: np.ndarray,
@@ -41,34 +98,58 @@ def flash_attention_forward(
     block_q: int = DEFAULT_BLOCK,
     block_k: int = DEFAULT_BLOCK,
     bias: np.ndarray | None = None,
+    plan: TilePlan | None = None,
+    workspace: KernelWorkspace | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Tiled exact attention forward.
 
     Parameters mirror :func:`repro.kernels.attention_reference`; returns
     the same ``(o, lse)`` pair.  ``block_q``/``block_k`` bound the size of
-    any temporary score tile.  ``bias`` is an additive score term (ALiBi)
-    broadcastable to ``(..., Sq, Sk)``, tiled alongside the mask.
+    any temporary score tile (when ``plan`` is given, its block geometry
+    wins).  ``bias`` is an additive score term (ALiBi) broadcastable to
+    ``(..., Sq, Sk)``, tiled alongside the mask; with a plan, bias tiles
+    are resolved (and cached) per sub-tile instead.
     """
     if scale is None:
         scale = 1.0 / np.sqrt(q.shape[-1])
     sq, sk = q.shape[-2], k.shape[-2]
+    _validate_plan(plan, sq, sk, mask, bias)
+    if plan is not None:
+        block_q, block_k = plan.block_q, plan.block_k
+    ws = workspace
     o = np.zeros(q.shape[:-1] + (v.shape[-1],), dtype=np.float64)
     lse = np.full(q.shape[:-1], NEG_INF, dtype=np.float64)
 
-    for q0 in range(0, sq, block_q):
+    for qi, q0 in enumerate(range(0, sq, block_q)):
         q1 = min(q0 + block_q, sq)
         q_blk = q[..., q0:q1, :]
         o_blk = np.zeros(q_blk.shape[:-1] + (v.shape[-1],), dtype=np.float64)
         lse_blk = np.full(q_blk.shape[:-1], NEG_INF, dtype=np.float64)
-        for k0 in range(0, sk, block_k):
+        for ki, k0 in enumerate(range(0, sk, block_k)):
             k1 = min(k0 + block_k, sk)
-            s = np.matmul(q_blk, np.swapaxes(k[..., k0:k1, :], -1, -2)) * scale
-            b = _mask_tile(bias, q0, q1, k0, k1)
+            if plan is not None:
+                skip, m, b = _resolve_subtile(
+                    plan, qi, ki, (q1 - q0) * (k1 - k0)
+                )
+                if skip:
+                    continue
+            else:
+                m = _mask_tile(mask, q0, q1, k0, k1)
+                b = _mask_tile(bias, q0, q1, k0, k1)
+            k_t = np.swapaxes(k[..., k0:k1, :], -1, -2)
+            # Scratch reuse is safe only while the score tile keeps the
+            # kernel's own batch shape; an additive bias may broadcast it
+            # wider, so biased tiles take the allocating path.
+            reuse = ws is not None and b is None
+            if reuse:
+                s = ws.matmul(q_blk, k_t, "fwd-s")
+                s *= scale
+            else:
+                s = np.matmul(q_blk, k_t) * scale
             if b is not None:
                 s = s + b
-            m = _mask_tile(mask, q0, q1, k0, k1)
             if m is not None:
-                if not m.any():
+                if plan is None and not m.any():
                     continue  # tile contributes nothing; skip (sparse speedup)
                 s = np.where(m, s, NEG_INF)
             tile_lse = logsumexp(s, axis=-1)
@@ -83,7 +164,13 @@ def flash_attention_forward(
             if m is not None:
                 p = np.where(m, p, 0.0)
             p = np.where(np.isneginf(new_lse)[..., None], 0.0, p)
-            o_blk = w_old * o_blk + np.matmul(p, v[..., k0:k1, :])
+            v_blk = v[..., k0:k1, :]
+            if reuse and p.shape[:-1] + (v_blk.shape[-1],) == o_blk.shape:
+                pv = ws.matmul(p, v_blk, "fwd-pv")
+                o_blk *= w_old
+                o_blk += pv
+            else:
+                o_blk = w_old * o_blk + np.matmul(p, v_blk)
             lse_blk = new_lse
         o[..., q0:q1, :] = o_blk
         lse[..., q0:q1] = lse_blk
@@ -102,6 +189,8 @@ def flash_attention_backward(
     block_q: int = DEFAULT_BLOCK,
     block_k: int = DEFAULT_BLOCK,
     bias: np.ndarray | None = None,
+    plan: TilePlan | None = None,
+    workspace: KernelWorkspace | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Tiled exact attention backward.
 
@@ -110,13 +199,48 @@ def flash_attention_backward(
     """
     if scale is None:
         scale = 1.0 / np.sqrt(q.shape[-1])
+    d_stat = np.sum(do * o, axis=-1)  # (..., Sq)
+    return flash_backward_tiles(
+        q, k, v, lse, d_stat, do, mask=mask, scale=scale,
+        block_q=block_q, block_k=block_k, bias=bias,
+        plan=plan, workspace=workspace,
+    )
+
+
+def flash_backward_tiles(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    lse: np.ndarray,
+    d_stat: np.ndarray,
+    do: np.ndarray,
+    mask: np.ndarray | None = None,
+    scale: float | None = None,
+    block_q: int = DEFAULT_BLOCK,
+    block_k: int = DEFAULT_BLOCK,
+    bias: np.ndarray | None = None,
+    plan: TilePlan | None = None,
+    workspace: KernelWorkspace | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward tile loop with caller-supplied row statistics.
+
+    This is the shared core of :func:`flash_attention_backward` (which
+    derives ``D = rowsum(dO * O)`` itself) and BurstAttention's
+    Algorithm 2 device step (whose ``D``/``Lse`` arrive over the ring
+    instead of being recomputed — the saving the paper measures).
+    """
+    if scale is None:
+        scale = 1.0 / np.sqrt(q.shape[-1])
     sq, sk = q.shape[-2], k.shape[-2]
+    _validate_plan(plan, sq, sk, mask, bias)
+    if plan is not None:
+        block_q, block_k = plan.block_q, plan.block_k
+    ws = workspace
     dq = np.zeros_like(q)
     dk = np.zeros_like(k)
     dv = np.zeros_like(v)
-    d_stat = np.sum(do * o, axis=-1)  # (..., Sq)
 
-    for q0 in range(0, sq, block_q):
+    for qi, q0 in enumerate(range(0, sq, block_q)):
         q1 = min(q0 + block_q, sq)
         q_blk = q[..., q0:q1, :]
         do_blk = do[..., q0:q1, :]
@@ -125,15 +249,27 @@ def flash_attention_backward(
         lse_safe = np.where(np.isneginf(lse_blk), 0.0, lse_blk)[..., None]
         dead = np.isneginf(lse_blk)[..., None]
         dq_blk = np.zeros_like(q_blk)
-        for k0 in range(0, sk, block_k):
+        for ki, k0 in enumerate(range(0, sk, block_k)):
             k1 = min(k0 + block_k, sk)
-            m = _mask_tile(mask, q0, q1, k0, k1)
-            if m is not None and not m.any():
-                continue
+            if plan is not None:
+                skip, m, b = _resolve_subtile(
+                    plan, qi, ki, (q1 - q0) * (k1 - k0)
+                )
+                if skip:
+                    continue
+            else:
+                m = _mask_tile(mask, q0, q1, k0, k1)
+                if m is not None and not m.any():
+                    continue
+                b = _mask_tile(bias, q0, q1, k0, k1)
             k_blk = k[..., k0:k1, :]
             v_blk = v[..., k0:k1, :]
-            s = np.matmul(q_blk, np.swapaxes(k_blk, -1, -2)) * scale
-            b = _mask_tile(bias, q0, q1, k0, k1)
+            reuse = ws is not None and b is None
+            if reuse:
+                s = ws.matmul(q_blk, np.swapaxes(k_blk, -1, -2), "bwd-s")
+                s *= scale
+            else:
+                s = np.matmul(q_blk, np.swapaxes(k_blk, -1, -2)) * scale
             if b is not None:
                 s = s + b
             if m is not None:
@@ -142,10 +278,27 @@ def flash_attention_backward(
             p = np.where(dead, 0.0, p)
             if m is not None:
                 p = np.where(m, p, 0.0)
-            dv[..., k0:k1, :] += np.matmul(np.swapaxes(p, -1, -2), do_blk)
-            dp = np.matmul(do_blk, np.swapaxes(v_blk, -1, -2))
-            ds = p * (dp - d_blk[..., None])
-            dq_blk += np.matmul(ds, k_blk) * scale
-            dk[..., k0:k1, :] += np.matmul(np.swapaxes(ds, -1, -2), q_blk) * scale
+            p_t = np.swapaxes(p, -1, -2)
+            if reuse:
+                dv_tile = ws.matmul(p_t, do_blk, "bwd-dv")
+                dv[..., k0:k1, :] += dv_tile
+                dp = ws.matmul(do_blk, np.swapaxes(v_blk, -1, -2), "bwd-dp")
+                np.subtract(dp, d_blk[..., None], out=dp)
+                dp *= p
+                ds = dp
+                dq_tile = ws.matmul(ds, k_blk, "bwd-dq")
+                dq_tile *= scale
+                dq_blk += dq_tile
+                dk_tile = ws.matmul(np.swapaxes(ds, -1, -2), q_blk, "bwd-dk")
+                dk_tile *= scale
+                dk[..., k0:k1, :] += dk_tile
+            else:
+                dv[..., k0:k1, :] += np.matmul(p_t, do_blk)
+                dp = np.matmul(do_blk, np.swapaxes(v_blk, -1, -2))
+                ds = p * (dp - d_blk[..., None])
+                dq_blk += np.matmul(ds, k_blk) * scale
+                dk[..., k0:k1, :] += (
+                    np.matmul(np.swapaxes(ds, -1, -2), q_blk) * scale
+                )
         dq[..., q0:q1, :] = dq_blk
     return dq, dk, dv

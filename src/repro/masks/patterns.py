@@ -52,6 +52,19 @@ class MaskPattern(ABC):
         """
         return None
 
+    def bias_cache_key(
+        self, q_idx: np.ndarray, k_idx: np.ndarray
+    ) -> tuple | None:
+        """Hashable identity of the tile's bias, or ``None`` (uncacheable).
+
+        Patterns whose bias is translation-invariant (a function of
+        ``q - k`` only, like ALiBi) return a key so the kernel layer's
+        :class:`~repro.kernels.tileplan.BiasTileCache` can share tiles
+        across ring steps.  The default is ``None`` — never cached —
+        which is always sound.
+        """
+        return None
+
     def num_allowed(self, q_idx: np.ndarray, k_idx: np.ndarray) -> int:
         """Number of allowed (query, key) pairs in the tile."""
         return int(self.block(q_idx, k_idx).sum())
@@ -163,6 +176,21 @@ class ALiBiMask(CausalMask):
     def bias_block(self, q_idx: np.ndarray, k_idx: np.ndarray) -> np.ndarray:
         dist = (q_idx[:, None] - k_idx[None, :]).astype(np.float64)
         return -self.slopes[:, None, None] * dist
+
+    def bias_cache_key(
+        self, q_idx: np.ndarray, k_idx: np.ndarray
+    ) -> tuple | None:
+        # The bias depends only on pairwise differences, so two contiguous
+        # tiles with the same (q0 - k0) offset and shape share one tile —
+        # this is what lets ring passes reuse ALiBi tiles across steps.
+        def _contig(idx: np.ndarray) -> bool:
+            if len(idx) == 0 or int(idx[-1]) - int(idx[0]) != len(idx) - 1:
+                return False
+            return len(idx) == 1 or bool((np.diff(idx) == 1).all())
+
+        if _contig(q_idx) and _contig(k_idx):
+            return (int(q_idx[0]) - int(k_idx[0]), len(q_idx), len(k_idx))
+        return None
 
     def dense_bias(self, n: int) -> np.ndarray:
         """Full ``(H, n, n)`` bias tensor (testing / reference use)."""

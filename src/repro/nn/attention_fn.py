@@ -19,7 +19,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.kernels import flash_attention_backward, flash_attention_forward
+from repro.kernels import (
+    BiasTileCache,
+    KernelWorkspace,
+    TilePlan,
+    flash_attention_backward,
+    flash_attention_forward,
+    planning_enabled,
+)
 from repro.masks import MaskPattern
 from repro.nn.checkpoint import (
     AttentionOutputCache,
@@ -79,11 +86,29 @@ class FlashAttentionFn(Function):
         s = q.shape[-2]
         heads = q.shape[0] if q.ndim == 3 else 1
         head_dim = q.shape[-1]
-        dense = mask.dense(s) if mask is not None else None
         positions = np.arange(s)
-        dense_bias = mask.bias_block(positions, positions) if mask is not None else None
+        planned = planning_enabled() and mask is not None
+        if planned:
+            # Plan mode: classify sub-tiles from the pattern and resolve
+            # bias per tile — the dense s x s mask never exists.
+            dense = dense_bias = None
+            bias_cache = BiasTileCache()
+            plan = TilePlan.build(
+                mask, positions, positions, block_size, block_size,
+                bias_cache=bias_cache,
+            )
+        else:
+            dense = mask.dense(s) if mask is not None else None
+            dense_bias = (
+                mask.bias_block(positions, positions)
+                if mask is not None else None
+            )
+            bias_cache = None
+            plan = None
         self.mask_dense = dense
         self.bias_dense = dense_bias
+        self.plan = plan
+        self.workspace = KernelWorkspace()
         self.scale = scale
         self.block_size = block_size
 
@@ -95,13 +120,23 @@ class FlashAttentionFn(Function):
         elif cached is not None and policy.mode is CheckpointMode.SEQUENCE_LEVEL:
             split = int(round(s * policy.split_fraction))
             o_back, lse_back = cached
-            front_mask = dense[:split, :] if dense is not None else None
-            front_bias = (
-                dense_bias[..., :split, :] if dense_bias is not None else None
-            )
+            if planned:
+                front_mask = front_bias = None
+                front_plan = TilePlan.build(
+                    mask, positions[:split], positions,
+                    block_size, block_size, bias_cache=bias_cache,
+                )
+            else:
+                front_plan = None
+                front_mask = dense[:split, :] if dense is not None else None
+                front_bias = (
+                    dense_bias[..., :split, :]
+                    if dense_bias is not None else None
+                )
             o_front, lse_front = flash_attention_forward(
                 q[..., :split, :], k, v, mask=front_mask, scale=scale,
                 block_q=block_size, block_k=block_size, bias=front_bias,
+                plan=front_plan, workspace=self.workspace,
             )
             get_tracker().add_recompute_flops(
                 _attention_flops(_mask_pairs(mask, split, s), heads, head_dim)
@@ -112,6 +147,7 @@ class FlashAttentionFn(Function):
             o, lse = flash_attention_forward(
                 q, k, v, mask=dense, scale=scale,
                 block_q=block_size, block_k=block_size, bias=dense_bias,
+                plan=plan, workspace=self.workspace,
             )
             if in_recompute():
                 get_tracker().add_recompute_flops(
@@ -144,6 +180,7 @@ class FlashAttentionFn(Function):
             mask=self.mask_dense, scale=self.scale,
             block_q=self.block_size, block_k=self.block_size,
             bias=self.bias_dense,
+            plan=self.plan, workspace=self.workspace,
         )
         if self.groups > 1:
             dk = fold_kv_grad(dk, self.groups)

@@ -22,6 +22,9 @@ from repro.perf.cost import (
     table1_comm_times,
     attention_step_sizes,
     matmul_time,
+    causal_tile_counts,
+    sliding_window_tile_counts,
+    block_sparse_tile_counts,
 )
 from repro.perf.memory import MemoryModel, MemoryBreakdown, TrainingSetup
 from repro.perf.schedules.attention import attention_pass_time, ATTENTION_SCHEDULES
@@ -40,6 +43,9 @@ __all__ = [
     "table1_comm_times",
     "attention_step_sizes",
     "matmul_time",
+    "causal_tile_counts",
+    "sliding_window_tile_counts",
+    "block_sparse_tile_counts",
     "MemoryModel",
     "MemoryBreakdown",
     "TrainingSetup",

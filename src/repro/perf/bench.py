@@ -1,0 +1,370 @@
+"""Benchmark regression harness (``python -m repro.perf.bench``).
+
+Runs kernel- and attention-method microbenchmarks twice — once with the
+legacy dense-mask path (``use_planning(False)``) and once with mask-aware
+tile planning — and writes machine-readable results to ``BENCH_kernels.json``
+and ``BENCH_attention.json`` at the repo root.  Each record carries the
+configuration, wall-clock times, sub-tile skip accounting from
+:data:`repro.kernels.tileplan.counters`, the dense-vs-planned speedup, and
+the maximum numeric deviation between the two paths (gated at ``1e-12``).
+
+``--check`` compares a fresh run against the committed JSON baselines:
+
+* tile counts must match the baseline exactly (they are deterministic);
+* per-case speedup must not regress below ``baseline / tolerance``;
+* the causal kernel case must keep skipping >= 40 % of sub-tiles (always)
+  and show a wall-clock win (full-size runs only — smoke configs are too
+  small for skipped tiles to beat plan overhead).
+
+Exit status is non-zero on any regression, which is what the CI
+``perf-smoke`` job gates on.  ``--check`` still rewrites the JSON files so
+CI uploads the fresh numbers as artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.attention.methods import get_method
+from repro.comm import SimCommunicator
+from repro.topology import make_cluster
+from repro.kernels import (
+    BiasTileCache,
+    KernelWorkspace,
+    TilePlan,
+    counters,
+    flash_attention_backward,
+    flash_attention_forward,
+    use_planning,
+)
+from repro.masks import ALiBiMask, CausalMask, sliding_window_block_mask
+from repro.masks.patterns import SlidingWindowMask
+
+#: Required causal skip fraction (acceptance criterion).
+CAUSAL_SKIP_FLOOR = 0.4
+
+#: Numeric identity gate between dense and planned paths.
+MAX_NUMERIC_DIFF = 1e-12
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parents[3]
+
+
+# --- kernel suite -------------------------------------------------------------
+
+
+def _kernel_cases(smoke: bool) -> list[dict]:
+    s, d, h, blk = (256, 16, 2, 32) if smoke else (768, 32, 4, 64)
+    return [
+        {"name": "causal", "seq": s, "head_dim": d, "heads": h, "block": blk},
+        {"name": "sliding-window", "seq": s, "head_dim": d, "heads": h,
+         "block": blk, "window": s // 4},
+        {"name": "block-sparse", "seq": s, "head_dim": d, "heads": h,
+         "block": blk, "mask_block": s // 8, "window_blocks": 2},
+        {"name": "alibi", "seq": s, "head_dim": d, "heads": h, "block": blk},
+    ]
+
+
+def _kernel_mask(case: dict):
+    if case["name"] == "causal":
+        return CausalMask()
+    if case["name"] == "sliding-window":
+        return SlidingWindowMask(case["window"])
+    if case["name"] == "block-sparse":
+        return sliding_window_block_mask(
+            case["seq"], case["mask_block"], case["window_blocks"]
+        )
+    if case["name"] == "alibi":
+        return ALiBiMask(case["heads"])
+    raise ValueError(case["name"])
+
+
+def _time_kernel_pass(q, k, v, do, mask, case, *, planned: bool, repeats: int):
+    """One fwd+bwd measurement; returns (best_seconds, outputs, counters)."""
+    s = case["seq"]
+    blk = case["block"]
+    idx = np.arange(s)
+    best = float("inf")
+    outs = None
+    snap = None
+    for _ in range(repeats):
+        counters.reset()
+        t0 = time.perf_counter()
+        if planned:
+            plan = TilePlan.build(
+                mask, idx, idx, blk, blk, bias_cache=BiasTileCache()
+            )
+            ws = KernelWorkspace()
+            o, lse = flash_attention_forward(q, k, v, plan=plan, workspace=ws)
+            grads = flash_attention_backward(
+                q, k, v, o, lse, do, plan=plan, workspace=ws
+            )
+        else:
+            dense = mask.dense(s)
+            bias = mask.bias_block(idx, idx)
+            o, lse = flash_attention_forward(
+                q, k, v, mask=dense, bias=bias, block_q=blk, block_k=blk
+            )
+            grads = flash_attention_backward(
+                q, k, v, o, lse, do, mask=dense, bias=bias,
+                block_q=blk, block_k=blk,
+            )
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+            outs = (o, lse, *grads)
+            snap = counters.snapshot()
+    return best, outs, snap
+
+
+def run_kernel_suite(smoke: bool, repeats: int) -> list[dict]:
+    results = []
+    rng = np.random.default_rng(0)
+    for case in _kernel_cases(smoke):
+        s, d, h = case["seq"], case["head_dim"], case["heads"]
+        q, k, v, do = (rng.normal(size=(h, s, d)) for _ in range(4))
+        mask = _kernel_mask(case)
+        dense_s, dense_out, _ = _time_kernel_pass(
+            q, k, v, do, mask, case, planned=False, repeats=repeats
+        )
+        plan_s, plan_out, snap = _time_kernel_pass(
+            q, k, v, do, mask, case, planned=True, repeats=repeats
+        )
+        max_diff = max(
+            float(np.max(np.abs(a - b))) for a, b in zip(dense_out, plan_out)
+        )
+        results.append({
+            "name": case["name"],
+            "params": {k_: v_ for k_, v_ in case.items() if k_ != "name"},
+            "dense_s": dense_s,
+            "planned_s": plan_s,
+            "speedup": dense_s / plan_s if plan_s > 0 else float("inf"),
+            "tiles_computed": snap["tiles_computed"],
+            "tiles_skipped": snap["tiles_skipped"],
+            "skip_fraction": snap["skip_fraction"],
+            "bias_tiles_built": snap["bias_tiles_built"],
+            "bias_tiles_reused": snap["bias_tiles_reused"],
+            "max_abs_diff": max_diff,
+        })
+    return results
+
+
+# --- attention-method suite ---------------------------------------------------
+
+
+def _method_cases(smoke: bool) -> list[dict]:
+    g = 4
+    s, d, h, blk = (128, 8, 4, 16) if smoke else (256, 16, 4, 32)
+    names = ["megatron-cp", "burst", "loongtrain-double"]
+    if not smoke:
+        names.append("usp")
+    return [
+        {"name": name, "world": g, "seq": s, "head_dim": d, "heads": h,
+         "block": blk}
+        for name in names
+    ]
+
+
+def _run_method(case: dict, q, k, v, do, mask) -> tuple[float, tuple]:
+    kwargs = {"block_size": case["block"]}
+    if case["name"] == "usp":
+        kwargs["ulysses_degree"] = 2
+    method = get_method(case["name"], **kwargs)
+    g = case["world"]
+    comm = SimCommunicator(make_cluster(g, gpus_per_node=max(2, g // 2)))
+    s = case["seq"]
+    idxs = method.indices(s, g)
+    qs, ks, vs = method.shard(q, g), method.shard(k, g), method.shard(v, g)
+    t0 = time.perf_counter()
+    os_, lses, ctx = method.forward_shards(comm, qs, ks, vs, idxs, mask, None)
+    dos = method.shard(do, g)
+    dqs, dks, dvs = method.backward_shards(comm, ctx, dos)
+    elapsed = time.perf_counter() - t0
+    flat = tuple(
+        np.concatenate(parts, axis=-2)
+        for parts in (os_, dqs, dks, dvs)
+    )
+    return elapsed, flat
+
+
+def run_attention_suite(smoke: bool, repeats: int) -> list[dict]:
+    results = []
+    rng = np.random.default_rng(1)
+    mask = CausalMask()
+    for case in _method_cases(smoke):
+        s, d, h = case["seq"], case["head_dim"], case["heads"]
+        q, k, v, do = (rng.normal(size=(h, s, d)) for _ in range(4))
+        dense_s = float("inf")
+        plan_s = float("inf")
+        dense_out = plan_out = None
+        snap = None
+        for _ in range(repeats):
+            with use_planning(False):
+                t, out = _run_method(case, q, k, v, do, mask)
+            if t < dense_s:
+                dense_s, dense_out = t, out
+            counters.reset()
+            with use_planning(True):
+                t, out = _run_method(case, q, k, v, do, mask)
+            if t < plan_s:
+                plan_s, plan_out = t, out
+                snap = counters.snapshot()
+        max_diff = max(
+            float(np.max(np.abs(a - b))) for a, b in zip(dense_out, plan_out)
+        )
+        results.append({
+            "name": case["name"],
+            "params": {k_: v_ for k_, v_ in case.items() if k_ != "name"},
+            "dense_s": dense_s,
+            "planned_s": plan_s,
+            "speedup": dense_s / plan_s if plan_s > 0 else float("inf"),
+            "tiles_computed": snap["tiles_computed"],
+            "tiles_skipped": snap["tiles_skipped"],
+            "skip_fraction": snap["skip_fraction"],
+            "max_abs_diff": max_diff,
+        })
+    return results
+
+
+# --- baseline gate ------------------------------------------------------------
+
+
+def check_results(
+    results: list[dict], baseline: list[dict] | None, tolerance: float,
+    suite: str, *, smoke: bool = False,
+) -> list[str]:
+    """Return a list of human-readable regression messages (empty = pass)."""
+    problems = []
+    for rec in results:
+        if rec["max_abs_diff"] > MAX_NUMERIC_DIFF:
+            problems.append(
+                f"{suite}/{rec['name']}: planned path deviates from dense "
+                f"by {rec['max_abs_diff']:.3e} (> {MAX_NUMERIC_DIFF})"
+            )
+    causal = next(
+        (r for r in results if r["name"] in ("causal", "megatron-cp")), None
+    )
+    if suite == "kernels" and causal is not None:
+        if causal["skip_fraction"] < CAUSAL_SKIP_FLOOR:
+            problems.append(
+                f"kernels/causal: skip fraction {causal['skip_fraction']:.3f}"
+                f" below the {CAUSAL_SKIP_FLOOR:.0%} acceptance floor"
+            )
+        # The wall-clock-win criterion only applies at full size: smoke
+        # configs are too small for skipped tiles to beat plan overhead.
+        if not smoke and causal["speedup"] <= 1.0:
+            problems.append(
+                f"kernels/causal: no wall-clock win (speedup "
+                f"{causal['speedup']:.3f}x)"
+            )
+    if baseline is None:
+        return problems
+    base_by_name = {r["name"]: r for r in baseline}
+    for rec in results:
+        base = base_by_name.get(rec["name"])
+        if base is None:
+            continue
+        if base.get("params") != rec.get("params"):
+            continue  # config changed; counts incomparable
+        for key in ("tiles_computed", "tiles_skipped"):
+            if rec[key] != base[key]:
+                problems.append(
+                    f"{suite}/{rec['name']}: {key} changed "
+                    f"{base[key]} -> {rec[key]} (deterministic count)"
+                )
+        floor = base["speedup"] / tolerance
+        if rec["speedup"] < floor:
+            problems.append(
+                f"{suite}/{rec['name']}: speedup regressed "
+                f"{base['speedup']:.3f}x -> {rec['speedup']:.3f}x "
+                f"(floor {floor:.3f}x at tolerance {tolerance}x)"
+            )
+    return problems
+
+
+def _payload(results: list[dict], suite: str, smoke: bool) -> dict:
+    return {
+        "suite": suite,
+        "smoke": smoke,
+        "schema": {
+            "dense_s": "best wall-clock of the dense-mask baseline (s)",
+            "planned_s": "best wall-clock of the tile-planned path (s)",
+            "speedup": "dense_s / planned_s",
+            "tiles_computed": "sub-tiles executed by the planned path",
+            "tiles_skipped": "sub-tiles skipped as empty",
+            "skip_fraction": "tiles_skipped / (computed + skipped)",
+            "max_abs_diff": "max |dense - planned| over outputs and grads",
+        },
+        "results": results,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.bench",
+        description="kernel/attention microbenchmarks with a JSON "
+        "regression gate",
+    )
+    parser.add_argument("--suite", choices=["kernels", "attention", "all"],
+                        default="all")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small configs for CI")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on regression vs the committed baseline")
+    parser.add_argument("--tolerance", type=float, default=1.5,
+                        help="allowed speedup regression factor in --check")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output directory (default: repo root)")
+    args = parser.parse_args(argv)
+
+    out_dir = args.out or repo_root()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    suites = []
+    if args.suite in ("kernels", "all"):
+        suites.append(("kernels", run_kernel_suite))
+    if args.suite in ("attention", "all"):
+        suites.append(("attention", run_attention_suite))
+
+    problems = []
+    for suite, runner in suites:
+        path = out_dir / f"BENCH_{suite}.json"
+        baseline = None
+        if args.check and path.exists():
+            baseline = json.loads(path.read_text()).get("results")
+        results = runner(args.smoke, args.repeats)
+        if args.check:
+            problems += check_results(
+                results, baseline, args.tolerance, suite, smoke=args.smoke
+            )
+        path.write_text(
+            json.dumps(_payload(results, suite, args.smoke), indent=2)
+            + "\n"
+        )
+        for rec in results:
+            print(
+                f"[{suite}] {rec['name']:<18} dense {rec['dense_s']*1e3:8.2f}ms"
+                f"  planned {rec['planned_s']*1e3:8.2f}ms"
+                f"  speedup {rec['speedup']:5.2f}x"
+                f"  skip {rec['skip_fraction']:6.1%}"
+                f"  maxdiff {rec['max_abs_diff']:.2e}"
+            )
+        print(f"wrote {path}")
+
+    if problems:
+        print("\nREGRESSIONS:", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -142,6 +142,109 @@ def table1_comm_times(
     return {"ring": ring, "double_ring": double_ring, "burst": burst}
 
 
+# --- tile-count closed forms --------------------------------------------------
+#
+# The plan-driven flash kernels (repro.kernels.tileplan) tally how many
+# (block_q x block_k) sub-tiles they computed vs. skipped.  The counts are
+# predictable from the mask geometry alone; these closed forms are the
+# independent cross-check the tile invariants in repro.testing.invariants
+# (and the bench harness's gate) compare the measured counters against.
+
+
+def _tile_bounds(n: int, block: int) -> list[tuple[int, int]]:
+    return [(s, min(s + block, n)) for s in range(0, n, block)]
+
+
+def causal_tile_counts(
+    seq_len: int, block_q: int, block_k: int
+) -> dict[str, int]:
+    """Sub-tile census for a causal mask over ``[0, seq_len)``.
+
+    A tile with query rows ``[q0, q1)`` and key columns ``[k0, k1)`` is
+    *full* iff its earliest query sees the latest key (``q0 >= k1 - 1``)
+    and *empty* iff its latest query precedes the earliest key
+    (``q1 - 1 < k0``) — the exact interval test ``CausalMask.tile_state``
+    applies.  Returns ``{"full", "partial", "empty", "total"}`` counts.
+    """
+    full = partial = empty = 0
+    for q0, q1 in _tile_bounds(seq_len, block_q):
+        for k0, k1 in _tile_bounds(seq_len, block_k):
+            if q0 >= k1 - 1:
+                full += 1
+            elif q1 - 1 < k0:
+                empty += 1
+            else:
+                partial += 1
+    total = full + partial + empty
+    return {"full": full, "partial": partial, "empty": empty, "total": total}
+
+
+def sliding_window_tile_counts(
+    seq_len: int, window: int, block_q: int, block_k: int
+) -> dict[str, int]:
+    """Sub-tile census for a causal sliding window of width ``window``.
+
+    Mirrors ``SlidingWindowMask.tile_state``'s conservative interval test:
+    with ``diff_min = q0 - (k1 - 1)`` and ``diff_max = (q1 - 1) - k0``,
+    a tile is full iff ``diff_min >= 0 and diff_max < window`` and empty
+    iff ``diff_max < 0 or diff_min >= window``.
+    """
+    full = partial = empty = 0
+    for q0, q1 in _tile_bounds(seq_len, block_q):
+        for k0, k1 in _tile_bounds(seq_len, block_k):
+            diff_min = q0 - (k1 - 1)
+            diff_max = (q1 - 1) - k0
+            if diff_min >= 0 and diff_max < window:
+                full += 1
+            elif diff_max < 0 or diff_min >= window:
+                empty += 1
+            else:
+                partial += 1
+    total = full + partial + empty
+    return {"full": full, "partial": partial, "empty": empty, "total": total}
+
+
+def block_sparse_tile_counts(
+    seq_len: int,
+    mask_block_size: int,
+    block_mask,
+    intra_block_causal: bool,
+    block_q: int,
+    block_k: int,
+) -> dict[str, int]:
+    """Sub-tile census for a ``BlockSparseMask`` — block-level arithmetic,
+    no token tiles.
+
+    For each kernel tile the spanned mask blocks are ``q0 // B .. (q1-1)
+    // B`` (likewise for keys); the tile is empty iff no spanned block
+    pair is allowed, and full iff all are allowed and (under intra-block
+    causality) the whole tile lies strictly below the token diagonal —
+    the same conservative test ``BlockSparseMask.tile_state`` applies.
+    """
+    import numpy as np
+
+    block_mask = np.asarray(block_mask, dtype=bool)
+    full = partial = empty = 0
+    for q0, q1 in _tile_bounds(seq_len, block_q):
+        qb0, qb1 = q0 // mask_block_size, (q1 - 1) // mask_block_size + 1
+        for k0, k1 in _tile_bounds(seq_len, block_k):
+            kb0, kb1 = k0 // mask_block_size, (k1 - 1) // mask_block_size + 1
+            sub = block_mask[qb0:qb1, kb0:kb1]
+            if not sub.any():
+                empty += 1
+            elif intra_block_causal:
+                if q0 >= k1 - 1 and sub.all():
+                    full += 1
+                else:
+                    partial += 1
+            elif sub.all():
+                full += 1
+            else:
+                partial += 1
+    total = full + partial + empty
+    return {"full": full, "partial": partial, "empty": empty, "total": total}
+
+
 def matmul_time(
     flops: float, peak_flops: float, efficiency: float = 0.62
 ) -> float:

@@ -45,6 +45,7 @@ from repro.testing.differential import (
     shrink_case,
 )
 from repro.testing.invariants import (
+    check_tile_plan_invariants,
     InvariantReport,
     check_all_invariants,
     check_table1_consistency,
@@ -95,6 +96,7 @@ __all__ = [
     "check_traffic_invariants",
     "check_table1_consistency",
     "check_all_invariants",
+    "check_tile_plan_invariants",
     "expected_forward_elems",
     "expected_backward_elems",
     # golden

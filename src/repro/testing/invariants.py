@@ -289,6 +289,105 @@ def check_table1_consistency(
     return report
 
 
+def check_tile_plan_invariants(
+    seq_len: int = 256,
+    block_q: int = 32,
+    block_k: int = 32,
+    head_dim: int = 8,
+    n_heads: int = 2,
+    window: int | None = None,
+    mask_block: int | None = None,
+    seed: int = 0,
+) -> InvariantReport:
+    """Measured kernel tile counts vs the ``repro.perf.cost`` closed forms.
+
+    For causal, sliding-window, and block-sparse masks over ``[0,
+    seq_len)``: builds a :class:`~repro.kernels.TilePlan`, runs the
+    plan-driven forward+backward with the global tile counters reset, and
+    asserts
+
+    * the plan's ``full``/``partial``/``empty`` census equals the
+      closed-form census (``causal_tile_counts`` etc.) exactly;
+    * the executed counters equal twice the plan census (one traversal
+      each for forward and backward);
+    * pair accounting is conservative and complete: computed + skipped
+      pairs tile the full ``N x N`` score matrix, and every allowed pair
+      (``mask.total_allowed``) lies inside a computed sub-tile.
+
+    This mirrors the traffic invariants: nothing stops a kernel refactor
+    from silently computing skipped tiles (or skipping computed ones)
+    unless the measured counts are pinned to independent arithmetic.
+    """
+    from repro.kernels import (
+        TilePlan,
+        counters,
+        flash_attention_backward,
+        flash_attention_forward,
+    )
+    from repro.masks import CausalMask, SlidingWindowMask, sliding_window_block_mask
+    from repro.perf.cost import (
+        block_sparse_tile_counts,
+        causal_tile_counts,
+        sliding_window_tile_counts,
+    )
+
+    window = window or seq_len // 4
+    mask_block = mask_block or seq_len // 8
+    report = InvariantReport(
+        name=f"tileplan[N={seq_len}, bq={block_q}, bk={block_k}]"
+    )
+    bs_mask = sliding_window_block_mask(seq_len, mask_block, 2)
+    cases = [
+        ("causal", CausalMask(),
+         causal_tile_counts(seq_len, block_q, block_k)),
+        ("sliding-window", SlidingWindowMask(window),
+         sliding_window_tile_counts(seq_len, window, block_q, block_k)),
+        ("block-sparse", bs_mask,
+         block_sparse_tile_counts(
+             seq_len, mask_block, bs_mask.block_mask,
+             bs_mask.intra_block_causal, block_q, block_k)),
+    ]
+    rng = np.random.default_rng(seed)
+    shape = (n_heads, seq_len, head_dim)
+    q, k, v, do = (rng.normal(size=shape) for _ in range(4))
+    idx = np.arange(seq_len)
+
+    for name, mask, closed in cases:
+        plan = TilePlan.build(mask, idx, idx, block_q, block_k)
+        census = {
+            "full": plan.num_full, "partial": plan.num_partial,
+            "empty": plan.num_empty, "total": plan.num_tiles,
+        }
+        report.record(
+            census == closed,
+            f"{name}: plan census {census} == closed form {closed}",
+        )
+        counters.reset()
+        o, lse = flash_attention_forward(q, k, v, plan=plan)
+        flash_attention_backward(q, k, v, o, lse, do, plan=plan)
+        computed = closed["full"] + closed["partial"]
+        report.record(
+            counters.computed == 2 * computed
+            and counters.skipped_empty == 2 * closed["empty"],
+            f"{name}: executed tiles (fwd+bwd) {counters.computed} computed"
+            f" / {counters.skipped_empty} skipped == 2x closed form "
+            f"({computed} / {closed['empty']})",
+        )
+        total_pairs = counters.computed_pairs + counters.skipped_pairs
+        report.record(
+            total_pairs == 2 * seq_len * seq_len,
+            f"{name}: pair accounting tiles the score matrix "
+            f"({total_pairs} == 2*N^2)",
+        )
+        allowed = mask.total_allowed(seq_len)
+        report.record(
+            counters.computed_pairs >= 2 * allowed,
+            f"{name}: computed pairs {counters.computed_pairs} cover all "
+            f"2x{allowed} allowed pairs",
+        )
+    return report
+
+
 def check_all_invariants(
     topologies, shard_mult: int = 3, head_dim: int = 4, hidden: int = 16
 ) -> list[InvariantReport]:

@@ -19,7 +19,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.comm import SimCommunicator
-from repro.kernels import flash_attention_backward, flash_attention_forward
+from repro.kernels import (
+    KernelWorkspace,
+    TilePlan,
+    flash_attention_backward,
+    flash_attention_forward,
+    planning_enabled,
+)
 from repro.masks import MaskPattern
 from repro.nn.function import Function
 from repro.nn.tensor import Tensor
@@ -127,10 +133,23 @@ class TPAttentionFn(Function):
         hh = n_heads // g
         if scale is None:
             scale = 1.0 / np.sqrt(hd)
-        dense = mask.dense(s) if mask is not None else None
+        # TP ranks all see the full sequence, so one plan (built without
+        # bias — this path has never forwarded one) serves every head
+        # group; with planning off, fall back to the dense mask.
+        if mask is not None and planning_enabled():
+            dense = None
+            plan = TilePlan.build(
+                mask, np.arange(s), np.arange(s), block_size, block_size,
+                include_bias=False,
+            )
+        else:
+            dense = mask.dense(s) if mask is not None else None
+            plan = None
         self.comm, self.phase, self.g = comm, phase, g
         self.geom = (s, d, n_heads, hd, hh, scale, block_size)
         self.mask_dense = dense
+        self.plan = plan
+        self.workspace = KernelWorkspace()
 
         wq_s, wk_s, wv_s = shard_rows(wq, g), shard_rows(wk, g), shard_rows(wv, g)
         wo_s = shard_columns(wo, g)
@@ -142,6 +161,7 @@ class TPAttentionFn(Function):
             o_r, lse_r = flash_attention_forward(
                 q_r, k_r, v_r, mask=dense, scale=scale,
                 block_q=block_size, block_k=block_size,
+                plan=plan, workspace=self.workspace,
             )
             o_flat = o_r.swapaxes(0, 1).reshape(s, hh * hd)
             qs.append(q_r); ks.append(k_r); vs.append(v_r)
@@ -169,6 +189,7 @@ class TPAttentionFn(Function):
                 qs[r], ks[r], vs[r], os_[r], lses[r], do_r,
                 mask=self.mask_dense, scale=scale,
                 block_q=block_size, block_k=block_size,
+                plan=self.plan, workspace=self.workspace,
             )
             dq_f = dq_r.swapaxes(0, 1).reshape(s, hh * hd)
             dk_f = dk_r.swapaxes(0, 1).reshape(s, hh * hd)

@@ -75,3 +75,77 @@ class TestFastPathSoundness:
         assert m.tile_state(np.arange(16, 24), np.arange(0, 8)) == "empty"
         # perfectly inside the window
         assert m.tile_state(np.array([20]), np.array([16, 17])) == "full"
+
+
+class TestTilePlanClassification:
+    """TilePlan.build is just tile_state applied per sub-tile, so its
+    state grid must carry the same soundness guarantee: FULL/EMPTY
+    verdicts are exact against the dense tile, PARTIAL is conservative."""
+
+    @staticmethod
+    def check_plan(mask, q_idx, k_idx, block_q, block_k):
+        from repro.kernels import EMPTY, FULL, TilePlan
+
+        plan = TilePlan.build(mask, q_idx, k_idx, block_q, block_k)
+        for i in range(plan.n_q_blocks):
+            q0, q1 = plan.q_range(i)
+            for j in range(plan.n_k_blocks):
+                k0, k1 = plan.k_range(j)
+                exact = classify_dense(mask, q_idx[q0:q1], k_idx[k0:k1])
+                state = plan.state(i, j)
+                if state == FULL:
+                    assert exact == "full"
+                elif state == EMPTY:
+                    assert exact == "empty"
+                # PARTIAL: any exact verdict is acceptable
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        q_idx=idx_sets, k_idx=idx_sets,
+        block_q=st.sampled_from([2, 3, 5]),
+        block_k=st.sampled_from([2, 3, 5]),
+    )
+    def test_causal_plan(self, q_idx, k_idx, block_q, block_k):
+        self.check_plan(CausalMask(), q_idx, k_idx, block_q, block_k)
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        q_idx=idx_sets, k_idx=idx_sets, window=st.integers(1, 80),
+        block_q=st.sampled_from([2, 3, 5]),
+        block_k=st.sampled_from([2, 3, 5]),
+    )
+    def test_window_plan(self, q_idx, k_idx, window, block_q, block_k):
+        self.check_plan(
+            SlidingWindowMask(window), q_idx, k_idx, block_q, block_k
+        )
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        q_idx=idx_sets, k_idx=idx_sets, seed=st.integers(0, 1000),
+        causal=st.booleans(),
+        block_q=st.sampled_from([2, 3, 5]),
+        block_k=st.sampled_from([2, 3, 5]),
+    )
+    def test_block_sparse_plan(
+        self, q_idx, k_idx, seed, causal, block_q, block_k
+    ):
+        rng = np.random.default_rng(seed)
+        bm = rng.random((8, 8)) > 0.4
+        mask = BlockSparseMask(8, bm, intra_block_causal=causal)
+        self.check_plan(mask, q_idx, k_idx, block_q, block_k)
+
+    def test_contiguous_shard_plan_is_exact(self):
+        """The bread-and-butter case: a contiguous causal shard pair must
+        classify with zero conservatism — every tile verdict exact."""
+        from repro.kernels import PARTIAL, TilePlan
+
+        idx = np.arange(64)
+        plan = TilePlan.build(CausalMask(), idx, idx, 16, 16)
+        for i in range(plan.n_q_blocks):
+            for j in range(plan.n_k_blocks):
+                q0, q1 = plan.q_range(i)
+                k0, k1 = plan.k_range(j)
+                exact = classify_dense(CausalMask(), idx[q0:q1], idx[k0:k1])
+                got = plan.state(i, j)
+                want = {"empty": 0, "partial": PARTIAL, "full": 2}[exact]
+                assert got == want, (i, j, exact, got)
