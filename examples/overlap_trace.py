@@ -3,13 +3,21 @@
 Builds the DES task graphs behind the attention timing model for
 BurstAttention's delayed-gradient scheme vs LoongTrain's serialized
 gradient drain, prints the timelines, and exports Chrome traces you can
-open at chrome://tracing or https://ui.perfetto.dev.
+open at chrome://tracing or https://ui.perfetto.dev — plus an *observed*
+trace of a real burst backward pass on the simulated cluster, so the
+predicted and executed ring schedules sit side by side in the viewer
+(the DES rows load as pid 1, the observed rows as pid 2).
 
 Run:  python examples/overlap_trace.py
 """
 
 import os
 
+import numpy as np
+
+from repro.attention import get_method
+from repro.comm import SimCommunicator
+from repro.obs import spans_to_chrome_json, use_tracing
 from repro.perf.cost import link_time
 from repro.perf.des import Simulator
 from repro.perf.schedules.attention import _pipelined_ring, _transition_durations
@@ -47,6 +55,22 @@ def show(label: str, sim: Simulator) -> None:
               + " " * bar_start + "#" * bar_len)
 
 
+def observed(out_dir: str) -> None:
+    """Execute the same burst fwd+bwd pass for real and export its spans."""
+    topology = make_cluster(8, node=a800_node(gpus_per_node=4))
+    method = get_method("burst")
+    rng = np.random.default_rng(0)
+    q, k, v = (rng.standard_normal((4, 128, 16)) for _ in range(3))
+    do = rng.standard_normal((4, 128, 16))
+    with use_tracing() as tracer:
+        method.run(topology, q, k, v, do=do,
+                   comm=SimCommunicator(topology))
+    path = os.path.join(out_dir, "burst.observed.json")
+    spans_to_chrome_json(tracer.spans(), path, metadata={"method": "burst"})
+    print(f"wrote {path} ({len(tracer.spans())} observed spans — load next "
+          "to the DES traces to compare rings)")
+
+
 def main() -> None:
     overlapped = build(grad_overlapped=True)
     serialized = build(grad_overlapped=False)
@@ -59,6 +83,7 @@ def main() -> None:
         path = os.path.join(out_dir, f"{name}.json")
         trace_to_chrome_json(sim, path)
         print(f"\nwrote {path} (open in chrome://tracing)")
+    observed(out_dir)
 
 
 if __name__ == "__main__":

@@ -38,6 +38,7 @@ from repro.kernels import (
 )
 from repro.masks import MaskPattern
 from repro.attention.ring import _resolve_tiles
+from repro.obs.tracer import traced
 
 
 def _tile_backward_qgrad(
@@ -74,6 +75,7 @@ def _tile_backward_qgrad(
     )
 
 
+@traced("attn.pass", "attn", algorithm="burst-alg2", direction="bwd")
 def burst_attention_backward(
     comm: SimCommunicator,
     schedule: RingSchedule,

@@ -39,6 +39,7 @@ from repro.kernels import (
 )
 from repro.kernels.softmax import NEG_INF, merge_states
 from repro.masks import MaskPattern
+from repro.obs.tracer import traced
 
 
 def _tile_mask(
@@ -108,6 +109,7 @@ def _resolve_tiles(
     return False, None, tile, bias
 
 
+@traced("attn.pass", "attn", algorithm="ring", direction="fwd")
 def ring_attention_forward(
     comm: SimCommunicator,
     schedule: RingSchedule,
@@ -179,6 +181,7 @@ def ring_attention_forward(
     return os, lses
 
 
+@traced("attn.pass", "attn", algorithm="ring-alg1", direction="bwd")
 def ring_attention_backward_kv(
     comm: SimCommunicator,
     schedule: RingSchedule,

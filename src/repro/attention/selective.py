@@ -33,6 +33,7 @@ from repro.comm import SimCommunicator
 from repro.kernels import KernelWorkspace, flash_attention_forward
 from repro.kernels.softmax import NEG_INF, merge_states
 from repro.masks import MaskPattern
+from repro.obs.tracer import traced
 
 
 def tile_dependency_matrix(
@@ -62,6 +63,7 @@ def communication_savings(
     return 1.0 - needed / off_diag
 
 
+@traced("attn.pass", "attn", algorithm="selective", direction="fwd")
 def selective_attention_forward(
     comm: SimCommunicator,
     qs: Sequence[np.ndarray],
@@ -110,6 +112,7 @@ def selective_attention_forward(
     return os, lses
 
 
+@traced("attn.pass", "attn", algorithm="selective", direction="bwd")
 def selective_attention_backward(
     comm: SimCommunicator,
     qs: Sequence[np.ndarray],

@@ -31,6 +31,7 @@ from repro.kernels import (
     planning_enabled,
 )
 from repro.masks import MaskPattern
+from repro.obs.tracer import traced
 
 
 def _check_contiguous(idxs: Sequence[np.ndarray]) -> None:
@@ -72,6 +73,7 @@ def _split_heads(x: np.ndarray, g: int) -> list[np.ndarray]:
     return [x[i * hh : (i + 1) * hh] for i in range(g)]
 
 
+@traced("attn.pass", "attn", algorithm="ulysses", direction="fwd")
 def ulysses_attention_forward(
     comm: SimCommunicator,
     qs: Sequence[np.ndarray],
@@ -193,6 +195,7 @@ def ulysses_attention_forward(
     return os_out, lses_out, ctx
 
 
+@traced("attn.pass", "attn", algorithm="ulysses", direction="bwd")
 def ulysses_attention_backward(
     comm: SimCommunicator,
     ctx: UlyssesContext,

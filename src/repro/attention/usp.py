@@ -29,6 +29,7 @@ from repro.attention.burst import burst_attention_backward
 from repro.attention.ring import ring_attention_backward_kv, ring_attention_forward
 from repro.comm import SimCommunicator, grouped_ring_schedule
 from repro.masks import MaskPattern
+from repro.obs.tracer import traced
 
 
 @dataclass(frozen=True)
@@ -103,6 +104,7 @@ def _seq_to_head(
     )
 
 
+@traced("attn.pass", "attn", algorithm="usp", direction="fwd")
 def usp_attention_forward(
     comm: SimCommunicator,
     grid: USPGrid,
@@ -197,6 +199,7 @@ def usp_attention_forward(
     return os_out, lses_out, ctx
 
 
+@traced("attn.pass", "attn", algorithm="usp", direction="bwd")
 def usp_attention_backward(
     comm: SimCommunicator,
     ctx: USPContext,

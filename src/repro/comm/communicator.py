@@ -15,13 +15,42 @@ numerics are computed directly.
 
 from __future__ import annotations
 
+import functools
 from typing import Sequence
 
 import numpy as np
 
 from repro.comm.traffic import TrafficLog, TransferRecord
+from repro.obs.tracer import NOOP_SPAN, trace_span
 from repro.topology import ClusterTopology, LinkClass
 from repro.utils.pytree import tree_flatten, tree_map, tree_unflatten
+
+
+def _traced_op(op: str):
+    """Wrap a communicator op in a ``comm.<op>`` span when tracing is on.
+
+    The disabled path is one flag check inside :func:`trace_span`; when
+    enabled, the span records the logical phase/tag plus the bytes and
+    hop count the op appended to the traffic log.
+    """
+
+    def deco(fn):
+        @functools.wraps(fn)
+        def wrapper(self, *args, phase, tag="", **kwargs):
+            span = trace_span(f"comm.{op}", phase="comm", logical=phase, tag=tag)
+            if span is NOOP_SPAN:
+                return fn(self, *args, phase=phase, tag=tag, **kwargs)
+            mark = len(self.log.records)
+            with span:
+                out = fn(self, *args, phase=phase, tag=tag, **kwargs)
+                new = self.log.records[mark:]
+                span["transfers"] = len(new)
+                span["nbytes"] = sum(r.nbytes for r in new)
+            return out
+
+        return wrapper
+
+    return deco
 
 
 class SimCommunicator:
@@ -70,6 +99,7 @@ class SimCommunicator:
 
     # --- point-to-point --------------------------------------------------------
 
+    @_traced_op("send")
     def send(
         self,
         src: int,
@@ -91,6 +121,7 @@ class SimCommunicator:
             self._record(src, dst, payload, phase, tag or "p2p")
         return tree_map(np.copy, payload)
 
+    @_traced_op("exchange")
     def exchange(
         self,
         bufs: Sequence[object],
@@ -115,6 +146,7 @@ class SimCommunicator:
 
     # --- ring primitives ---------------------------------------------------------
 
+    @_traced_op("ring_shift")
     def ring_shift(
         self,
         bufs: Sequence[object],
@@ -142,6 +174,7 @@ class SimCommunicator:
 
     # --- collectives ---------------------------------------------------------
 
+    @_traced_op("all_gather")
     def all_gather(
         self,
         shards: Sequence[np.ndarray],
@@ -170,6 +203,7 @@ class SimCommunicator:
         full = np.concatenate(list(shards), axis=axis)
         return [full.copy() for _ in range(g)]
 
+    @_traced_op("reduce_scatter")
     def reduce_scatter(
         self,
         contributions: Sequence[Sequence[np.ndarray]],
@@ -211,6 +245,7 @@ class SimCommunicator:
             out.append(acc)
         return out
 
+    @_traced_op("all_reduce")
     def all_reduce(
         self,
         bufs: Sequence[np.ndarray],
@@ -251,6 +286,7 @@ class SimCommunicator:
                 )
         return [total.copy() for _ in range(g)]
 
+    @_traced_op("all_to_all")
     def all_to_all(
         self,
         chunks: Sequence[Sequence[object]],
@@ -276,6 +312,7 @@ class SimCommunicator:
                 out[dst][src] = tree_map(np.copy, chunks[src][dst])
         return out
 
+    @_traced_op("group_all_to_all")
     def group_all_to_all(
         self,
         chunks: Sequence[Sequence[object]],
@@ -320,6 +357,7 @@ class SimCommunicator:
                 out[dst] = row
         return out
 
+    @_traced_op("broadcast")
     def broadcast(
         self,
         buf: np.ndarray,

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.comm.communicator import SimCommunicator
+from repro.obs.tracer import trace_span, tracing_enabled
 from repro.topology import ClusterTopology, LinkClass
 
 
@@ -86,10 +87,21 @@ class RingSchedule:
         tag: str = "",
     ) -> list[object]:
         """Perform transition ``t`` on per-rank buffers through ``comm``."""
-        out = list(bufs)
-        for ring in self.transitions[t]:
-            out = comm.ring_shift(out, list(ring), phase=phase, tag=tag or self.name)
-        return out
+        if not tracing_enabled():
+            out = list(bufs)
+            for ring in self.transitions[t]:
+                out = comm.ring_shift(out, list(ring), phase=phase, tag=tag or self.name)
+            return out
+        # Each transition becomes a span on the "intra-ring" / "inter-ring"
+        # row matching the DES resource its time is modeled on.
+        link = self.transition_link_class(t)
+        row = "inter-ring" if link is LinkClass.INTER else "intra-ring"
+        with trace_span("ring.transition", phase=row, schedule=self.name,
+                        step=t, logical=phase, rings=len(self.transitions[t])):
+            out = list(bufs)
+            for ring in self.transitions[t]:
+                out = comm.ring_shift(out, list(ring), phase=phase, tag=tag or self.name)
+            return out
 
     def origins(self) -> list[list[int]]:
         """``origins()[t][rank]`` = the rank whose step-0 buffer ``rank``

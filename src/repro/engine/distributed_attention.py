@@ -35,6 +35,7 @@ from repro.nn.function import Function
 from repro.nn.memory import get_tracker
 from repro.nn.modules import CausalSelfAttention
 from repro.nn.tensor import Tensor, is_grad_enabled
+from repro.obs.tracer import trace_span
 
 
 def _local_mask(
@@ -129,12 +130,14 @@ class DistributedAttentionFn(Function):
                 plan = None
                 dense = mask.dense(s)[:split, :] if mask is not None else None
             groups = (q.shape[0] // k.shape[0]) if q.ndim == 3 else 1
-            o_front, lse_front = flash_attention_forward(
-                q[..., :split, :], repeat_kv(k, groups), repeat_kv(v, groups),
-                mask=dense, scale=scale,
-                block_q=method.block_size, block_k=method.block_size,
-                plan=plan,
-            )
+            with trace_span("ckpt.recompute-front", phase="ckpt-recompute",
+                            split=split, seq=s):
+                o_front, lse_front = flash_attention_forward(
+                    q[..., :split, :], repeat_kv(k, groups), repeat_kv(v, groups),
+                    mask=dense, scale=scale,
+                    block_q=method.block_size, block_k=method.block_size,
+                    plan=plan,
+                )
             get_tracker().add_recompute_flops(
                 _attention_flops(_mask_pairs(mask, split, s), heads, head_dim)
             )

@@ -159,18 +159,21 @@ class BurstEngine:
         reset_tracker()
         mark = len(self.comm.log.records)
 
-        self.optimizer.zero_grad()
-        loss = self.model(ids, targets)
-        loss.backward()
+        from repro.obs.tracer import trace_span
 
-        fsdp = None
-        if self.config.fsdp:
-            gather_passes = 2 if self.config.checkpoint.checkpoints_layer else 1
-            fsdp = log_fsdp_traffic(
-                self.comm, self.param_bytes, gather_passes=gather_passes
-            )
-        self.optimizer.step()
-        self.step_count += 1
+        with trace_span("train.step", phase="step", step=self.step_count):
+            self.optimizer.zero_grad()
+            loss = self.model(ids, targets)
+            loss.backward()
+
+            fsdp = None
+            if self.config.fsdp:
+                gather_passes = 2 if self.config.checkpoint.checkpoints_layer else 1
+                fsdp = log_fsdp_traffic(
+                    self.comm, self.param_bytes, gather_passes=gather_passes
+                )
+            self.optimizer.step()
+            self.step_count += 1
 
         new_records = self.comm.log.records[mark:]
         tracker = get_tracker()

@@ -21,6 +21,7 @@ from repro.engine.engine import BurstEngine
 from repro.nn.schedule import ConstantLR, LRSchedule, clip_grad_norm
 from repro.nn.serialization import load_train_state, save_model, save_train_state
 from repro.nn.tensor import no_grad
+from repro.obs.tracer import trace_span
 
 
 @dataclass
@@ -61,6 +62,13 @@ class Trainer:
         Optional callback ``(trainer, record) -> None`` invoked after each
         step's bookkeeping (snapshot included) — the chaos harness uses it
         to simulate mid-run crashes.
+    metrics_path:
+        If set, one JSON line of step metrics (loss/lr/grad-norm, comm
+        volume by phase and link class, per-rank send elements, tile and
+        recompute tallies) is appended there after every step.  The comm
+        numbers are aggregated from the exact slice of the engine's
+        :class:`~repro.comm.TrafficLog` this step appended, so summing
+        the lines reproduces the log's totals precisely.
     """
 
     engine: BurstEngine
@@ -73,6 +81,7 @@ class Trainer:
     save_every: int = 0
     grad_accumulation: int = 1
     on_step_end: Callable[["Trainer", TrainRecord], None] | None = None
+    metrics_path: str | None = None
     history: list[TrainRecord] = field(default_factory=list)
     best_eval: float = float("inf")
     micro: int = 0
@@ -114,34 +123,37 @@ class Trainer:
             start_step = self.load_state(resume_from)
         engine = self.engine
         for step in range(start_step, steps):
-            lr = self.schedule.apply(engine.optimizer, step)
+            comm_mark = len(engine.comm.log.records)
+            tiles_mark = self._tile_snapshot()
+            with trace_span("train.step", phase="step", step=step):
+                lr = self.schedule.apply(engine.optimizer, step)
 
-            from repro.nn.memory import reset_tracker
+                from repro.nn.memory import reset_tracker
 
-            reset_tracker()
-            engine.optimizer.zero_grad()
-            loss_value = 0.0
-            for _ in range(self.grad_accumulation):
-                ids, targets = batches[self.micro % len(batches)]
-                self.micro += 1
-                loss = engine.model(ids, targets)
-                loss_value += loss.item() / self.grad_accumulation
-                loss.backward(
-                    np.asarray(1.0 / self.grad_accumulation)
+                reset_tracker()
+                engine.optimizer.zero_grad()
+                loss_value = 0.0
+                for _ in range(self.grad_accumulation):
+                    ids, targets = batches[self.micro % len(batches)]
+                    self.micro += 1
+                    loss = engine.model(ids, targets)
+                    loss_value += loss.item() / self.grad_accumulation
+                    loss.backward(
+                        np.asarray(1.0 / self.grad_accumulation)
+                    )
+                grad_norm = (
+                    clip_grad_norm(engine.model.parameters(), self.clip_norm)
+                    if self.clip_norm is not None
+                    else float("nan")
                 )
-            grad_norm = (
-                clip_grad_norm(engine.model.parameters(), self.clip_norm)
-                if self.clip_norm is not None
-                else float("nan")
-            )
-            if engine.config.fsdp:
-                from repro.engine.fsdp import log_fsdp_traffic
+                if engine.config.fsdp:
+                    from repro.engine.fsdp import log_fsdp_traffic
 
-                gather_passes = 2 if engine.config.checkpoint.checkpoints_layer else 1
-                log_fsdp_traffic(engine.comm, engine.param_bytes,
-                                 gather_passes=gather_passes)
-            engine.optimizer.step()
-            engine.step_count += 1
+                    gather_passes = 2 if engine.config.checkpoint.checkpoints_layer else 1
+                    log_fsdp_traffic(engine.comm, engine.param_bytes,
+                                     gather_passes=gather_passes)
+                engine.optimizer.step()
+                engine.step_count += 1
 
             record = TrainRecord(
                 step=step, loss=loss_value, lr=lr, grad_norm=grad_norm
@@ -162,7 +174,77 @@ class Trainer:
                 self.save_state(self.state_path)
             if self.on_step_end is not None:
                 self.on_step_end(self, record)
+            if self.metrics_path is not None:
+                self._emit_step_metrics(record, comm_mark, tiles_mark)
         return self.history
+
+    # --- per-step metrics ----------------------------------------------------
+
+    def _tile_snapshot(self) -> dict | None:
+        if self.metrics_path is None:
+            return None
+        from repro.kernels.tileplan import counters as tile_counters
+
+        return tile_counters.snapshot()
+
+    def _emit_step_metrics(
+        self, record: TrainRecord, comm_mark: int, tiles_mark: dict
+    ) -> None:
+        """Append one JSONL metrics line aggregating this step's traffic.
+
+        Aggregation runs over exactly ``log.records[comm_mark:]`` — the
+        transfers this step appended (eval / callbacks included) — so the
+        per-step comm volumes sum to the :class:`TrafficLog` totals.  The
+        same deltas are mirrored into the global registry's ``comm.elems``
+        / ``comm.bytes`` counters, labeled by phase and by link class.
+        """
+        from repro.kernels.tileplan import counters as tile_counters
+        from repro.nn.memory import get_tracker
+        from repro.obs.export import write_step_metrics
+        from repro.obs.metrics import get_registry
+
+        new = self.engine.comm.log.records[comm_mark:]
+        total_elems = total_bytes = 0
+        by_phase: dict[str, dict[str, int]] = {}
+        by_link: dict[str, dict[str, int]] = {}
+        per_rank: dict[str, dict[str, int]] = {}
+        for rec in new:
+            total_elems += rec.nelems
+            total_bytes += rec.nbytes
+            d = by_phase.setdefault(rec.phase, {"elems": 0, "bytes": 0})
+            d["elems"] += rec.nelems
+            d["bytes"] += rec.nbytes
+            l = by_link.setdefault(rec.link.value, {"elems": 0, "bytes": 0})
+            l["elems"] += rec.nelems
+            l["bytes"] += rec.nbytes
+            pr = per_rank.setdefault(rec.phase, {})
+            key = str(rec.src)
+            pr[key] = pr.get(key, 0) + rec.nelems
+        reg = get_registry()
+        for phase, d in by_phase.items():
+            reg.counter("comm.elems").inc(d["elems"], phase=phase)
+            reg.counter("comm.bytes").inc(d["bytes"], phase=phase)
+        for link, d in by_link.items():
+            reg.counter("comm.elems").inc(d["elems"], link=link)
+            reg.counter("comm.bytes").inc(d["bytes"], link=link)
+        tiles_now = tile_counters.snapshot()
+        tracker = get_tracker()
+        write_step_metrics(self.metrics_path, {
+            "step": record.step,
+            "loss": record.loss,
+            "lr": record.lr,
+            "grad_norm": record.grad_norm,
+            "comm_elems": total_elems,
+            "comm_bytes": total_bytes,
+            "comm_transfers": len(new),
+            "comm_by_phase": by_phase,
+            "comm_by_link": by_link,
+            "per_rank_send_elems": per_rank,
+            "tiles_computed": tiles_now["tiles_computed"] - tiles_mark["tiles_computed"],
+            "tiles_skipped": tiles_now["tiles_skipped"] - tiles_mark["tiles_skipped"],
+            "peak_activation_bytes": tracker.peak_saved_bytes,
+            "recompute_flops": tracker.recompute_flops,
+        })
 
     # --- crash recovery ------------------------------------------------------
 

@@ -41,6 +41,7 @@ from repro.kernels.tileplan import (
     TilePlan,
     counters,
 )
+from repro.obs.tracer import NOOP_SPAN, trace_span
 
 
 DEFAULT_BLOCK = 128
@@ -109,7 +110,35 @@ def flash_attention_forward(
     wins).  ``bias`` is an additive score term (ALiBi) broadcastable to
     ``(..., Sq, Sk)``, tiled alongside the mask; with a plan, bias tiles
     are resolved (and cached) per sub-tile instead.
+
+    One ``flash.fwd`` span covers the whole invocation (never per
+    sub-tile — the inner loop stays bench-clean).
     """
+    span = trace_span("flash.fwd", phase="compute")
+    if span is NOOP_SPAN:
+        return _forward_tiles(
+            q, k, v, mask, scale, block_q, block_k, bias, plan, workspace
+        )
+    with span:
+        span["sq"], span["sk"] = int(q.shape[-2]), int(k.shape[-2])
+        span["planned"] = plan is not None
+        return _forward_tiles(
+            q, k, v, mask, scale, block_q, block_k, bias, plan, workspace
+        )
+
+
+def _forward_tiles(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: np.ndarray | None,
+    scale: float | None,
+    block_q: int,
+    block_k: int,
+    bias: np.ndarray | None,
+    plan: TilePlan | None,
+    workspace: KernelWorkspace | None,
+) -> tuple[np.ndarray, np.ndarray]:
     if scale is None:
         scale = 1.0 / np.sqrt(q.shape[-1])
     sq, sk = q.shape[-2], k.shape[-2]
@@ -228,7 +257,39 @@ def flash_backward_tiles(
     derives ``D = rowsum(dO * O)`` itself) and BurstAttention's
     Algorithm 2 device step (whose ``D``/``Lse`` arrive over the ring
     instead of being recomputed — the saving the paper measures).
+
+    One ``flash.bwd`` span covers the whole invocation.
     """
+    span = trace_span("flash.bwd", phase="compute")
+    if span is NOOP_SPAN:
+        return _backward_tiles(
+            q, k, v, lse, d_stat, do, mask, scale, block_q, block_k,
+            bias, plan, workspace,
+        )
+    with span:
+        span["sq"], span["sk"] = int(q.shape[-2]), int(k.shape[-2])
+        span["planned"] = plan is not None
+        return _backward_tiles(
+            q, k, v, lse, d_stat, do, mask, scale, block_q, block_k,
+            bias, plan, workspace,
+        )
+
+
+def _backward_tiles(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    lse: np.ndarray,
+    d_stat: np.ndarray,
+    do: np.ndarray,
+    mask: np.ndarray | None,
+    scale: float | None,
+    block_q: int,
+    block_k: int,
+    bias: np.ndarray | None,
+    plan: TilePlan | None,
+    workspace: KernelWorkspace | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     if scale is None:
         scale = 1.0 / np.sqrt(q.shape[-1])
     sq, sk = q.shape[-2], k.shape[-2]

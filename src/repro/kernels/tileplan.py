@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.masks import MaskPattern
+from repro.obs.metrics import MetricsRegistry, get_registry
 
 #: Sub-tile classification codes (stored in ``TilePlan.states`` as int8).
 EMPTY, PARTIAL, FULL = 0, 1, 2
@@ -52,22 +53,38 @@ _STATE_CODE = {"empty": EMPTY, "partial": PARTIAL, "full": FULL}
 # --- execution accounting -----------------------------------------------------
 
 
-@dataclass
+#: Counter fields, in snapshot order.  Each is backed by a registry
+#: counter named ``tileplan.<field>`` so one registry snapshot covers them.
+_TILE_FIELDS = (
+    "computed_full",
+    "computed_partial",
+    "skipped_empty",
+    "computed_pairs",
+    "skipped_pairs",
+    "bias_tiles_built",
+    "bias_tiles_reused",
+)
+
+
 class TileCounters:
     """Global tally of sub-tile work the plan-driven kernels performed.
 
     ``computed_pairs``/``skipped_pairs`` count (query, key) *positions*
     inside computed/skipped sub-tiles — the unit the FLOP invariants tie
     to the :mod:`repro.perf.cost` closed forms.
+
+    The fields are properties over :class:`repro.obs.metrics.Counter`
+    objects (``tileplan.*`` in the given registry — the process-global
+    one for the module singleton), so ``counters.computed_full += n``
+    keeps working verbatim while ``repro.obs`` sees the same numbers.
     """
 
-    computed_full: int = 0
-    computed_partial: int = 0
-    skipped_empty: int = 0
-    computed_pairs: int = 0
-    skipped_pairs: int = 0
-    bias_tiles_built: int = 0
-    bias_tiles_reused: int = 0
+    def __init__(self, registry: MetricsRegistry | None = None):
+        if registry is None:
+            registry = MetricsRegistry()
+        self._backing = {
+            name: registry.counter(f"tileplan.{name}") for name in _TILE_FIELDS
+        }
 
     @property
     def computed(self) -> int:
@@ -82,26 +99,37 @@ class TileCounters:
         return self.skipped_empty / self.total if self.total else 0.0
 
     def reset(self) -> None:
-        for name in self.__dataclass_fields__:
-            setattr(self, name, 0)
+        for metric in self._backing.values():
+            metric.reset()
 
     def snapshot(self) -> dict[str, int | float]:
-        return {
-            "computed_full": self.computed_full,
-            "computed_partial": self.computed_partial,
-            "skipped_empty": self.skipped_empty,
-            "computed_pairs": self.computed_pairs,
-            "skipped_pairs": self.skipped_pairs,
-            "bias_tiles_built": self.bias_tiles_built,
-            "bias_tiles_reused": self.bias_tiles_reused,
-            "tiles_computed": self.computed,
-            "tiles_skipped": self.skipped_empty,
-            "skip_fraction": self.skip_fraction,
+        out: dict[str, int | float] = {
+            name: getattr(self, name) for name in _TILE_FIELDS
         }
+        out["tiles_computed"] = self.computed
+        out["tiles_skipped"] = self.skipped_empty
+        out["skip_fraction"] = self.skip_fraction
+        return out
+
+
+def _tile_counter_property(fname: str) -> property:
+    def _get(self) -> int:
+        return int(self._backing[fname]._value)
+
+    def _set(self, value: int) -> None:
+        self._backing[fname]._value = float(value)
+
+    return property(_get, _set)
+
+
+for _fname in _TILE_FIELDS:
+    setattr(TileCounters, _fname, _tile_counter_property(_fname))
+del _fname
 
 
 #: Module-wide counters; reset before a measured region, snapshot after.
-counters = TileCounters()
+#: Backed by the global metrics registry (``tileplan.*`` counters).
+counters = TileCounters(registry=get_registry())
 
 
 # --- planning on/off switch ---------------------------------------------------

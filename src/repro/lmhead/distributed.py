@@ -28,6 +28,7 @@ import numpy as np
 from repro.comm import SimCommunicator
 from repro.kernels.softmax import logsumexp
 from repro.lmhead.heads import HeadResult, HeadStats, _grad_scale
+from repro.obs.tracer import traced
 
 
 def shard_vocab(w: np.ndarray, g: int) -> list[np.ndarray]:
@@ -39,6 +40,7 @@ def shard_vocab(w: np.ndarray, g: int) -> list[np.ndarray]:
     return [w[r * step : (r + 1) * step] for r in range(g)]
 
 
+@traced("lmhead.vocab-parallel", "lmhead", impl="vocab-parallel-fused")
 def vocab_parallel_fused_loss(
     comm: SimCommunicator,
     h: np.ndarray,

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.kernels.softmax import logsumexp
+from repro.obs.tracer import trace_span, traced
 
 
 @dataclass(frozen=True)
@@ -77,6 +78,7 @@ def _grad_scale(n: int, reduction: str) -> float:
     raise ValueError(f"reduction must be 'mean' or 'sum', got {reduction!r}")
 
 
+@traced("lmhead.naive", "lmhead", impl="naive")
 def naive_lm_head_loss(
     h: np.ndarray, w: np.ndarray, y: np.ndarray, reduction: str = "mean"
 ) -> HeadResult:
@@ -106,6 +108,7 @@ def naive_lm_head_loss(
     return HeadResult(loss=loss, dh=dh, dw=dw, lse=lse, stats=stats)
 
 
+@traced("lmhead.tiled", "lmhead", impl="tiled-recompute")
 def tiled_lm_head_loss(
     h: np.ndarray,
     w: np.ndarray,
@@ -161,6 +164,7 @@ def tiled_lm_head_loss(
     return HeadResult(loss=loss, dh=dh, dw=dw, lse=lse, stats=stats)
 
 
+@traced("lmhead.fused", "lmhead", impl="fused")
 def fused_lm_head_loss(
     h: np.ndarray,
     w: np.ndarray,
@@ -191,30 +195,33 @@ def fused_lm_head_loss(
     n_vtiles = (v + block_vocab - 1) // block_vocab
     for s0 in range(0, n, block_seq):
         s1 = min(s0 + block_seq, n)
-        rows = np.arange(s0, s1)
-        h_blk = h[s0:s1]
+        # One span per sequence block (fwd lse + fused bwd tiles together).
+        with trace_span("lmhead.block", phase="lmhead",
+                        s0=s0, s1=s1, vtiles=n_vtiles):
+            rows = np.arange(s0, s1)
+            h_blk = h[s0:s1]
 
-        # forward vocab loop: logits tiles for THIS block cached, lse built
-        tiles: list[np.ndarray] = []
-        for v0 in range(0, v, block_vocab):
-            v1 = min(v0 + block_vocab, v)
-            tile = h_blk @ w[v0:v1].T
-            tiles.append(tile)
-            lse[s0:s1] = np.logaddexp(lse[s0:s1], logsumexp(tile, axis=-1))
+            # forward vocab loop: logits tiles for THIS block cached, lse built
+            tiles: list[np.ndarray] = []
+            for v0 in range(0, v, block_vocab):
+                v1 = min(v0 + block_vocab, v)
+                tile = h_blk @ w[v0:v1].T
+                tiles.append(tile)
+                lse[s0:s1] = np.logaddexp(lse[s0:s1], logsumexp(tile, axis=-1))
 
-        target_logit = np.einsum("nd,nd->n", h_blk, w[y[rows]])
-        loss_acc += float((lse[s0:s1] - target_logit).sum())
+            target_logit = np.einsum("nd,nd->n", h_blk, w[y[rows]])
+            loss_acc += float((lse[s0:s1] - target_logit).sum())
 
-        # fused backward vocab loop (Alg. 3 lines 8-13): reuse cached tiles
-        for j, v0 in enumerate(range(0, v, block_vocab)):
-            v1 = min(v0 + block_vocab, v)
-            p = np.exp(tiles[j] - lse[s0:s1, None])
-            in_tile = (y[rows] >= v0) & (y[rows] < v1)
-            p[np.arange(len(rows))[in_tile], y[rows][in_tile] - v0] -= 1.0
-            p *= gscale
-            dh[s0:s1] += p @ w[v0:v1]
-            dw[v0:v1] += p.T @ h_blk
-        del tiles
+            # fused backward vocab loop (Alg. 3 lines 8-13): reuse cached tiles
+            for j, v0 in enumerate(range(0, v, block_vocab)):
+                v1 = min(v0 + block_vocab, v)
+                p = np.exp(tiles[j] - lse[s0:s1, None])
+                in_tile = (y[rows] >= v0) & (y[rows] < v1)
+                p[np.arange(len(rows))[in_tile], y[rows][in_tile] - v0] -= 1.0
+                p *= gscale
+                dh[s0:s1] += p @ w[v0:v1]
+                dw[v0:v1] += p.T @ h_blk
+            del tiles
 
     loss = loss_acc * gscale
     stats = HeadStats(

@@ -37,6 +37,7 @@ from repro.nn.checkpoint import (
 from repro.nn.function import Function
 from repro.nn.memory import get_tracker
 from repro.nn.tensor import Tensor, is_grad_enabled
+from repro.obs.tracer import trace_span
 
 
 def _attention_flops(pairs: int, heads: int, head_dim: int) -> float:
@@ -133,11 +134,13 @@ class FlashAttentionFn(Function):
                     dense_bias[..., :split, :]
                     if dense_bias is not None else None
                 )
-            o_front, lse_front = flash_attention_forward(
-                q[..., :split, :], k, v, mask=front_mask, scale=scale,
-                block_q=block_size, block_k=block_size, bias=front_bias,
-                plan=front_plan, workspace=self.workspace,
-            )
+            with trace_span("ckpt.recompute-front", phase="ckpt-recompute",
+                            split=split, seq=s):
+                o_front, lse_front = flash_attention_forward(
+                    q[..., :split, :], k, v, mask=front_mask, scale=scale,
+                    block_q=block_size, block_k=block_size, bias=front_bias,
+                    plan=front_plan, workspace=self.workspace,
+                )
             get_tracker().add_recompute_flops(
                 _attention_flops(_mask_pairs(mask, split, s), heads, head_dim)
             )

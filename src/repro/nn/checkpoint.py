@@ -38,6 +38,7 @@ import numpy as np
 from repro.nn.function import Function
 from repro.nn.memory import get_tracker
 from repro.nn.tensor import Tensor, no_grad
+from repro.obs.tracer import trace_span
 
 
 class CheckpointMode(enum.Enum):
@@ -122,7 +123,8 @@ class Checkpoint(Function):
         prev = _in_recompute
         _in_recompute = True
         try:
-            out = self.fn(*inputs)
+            with trace_span("ckpt.replay", phase="ckpt-recompute"):
+                out = self.fn(*inputs)
         finally:
             _in_recompute = prev
         out.backward(grad_out)

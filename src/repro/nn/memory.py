@@ -7,47 +7,81 @@ quantity gradient checkpointing trades against recomputation — letting the
 tests *measure* that sequence-level selective checkpointing stores about
 half of what selective++ stores (Fig. 7) rather than assert it from a
 formula.
+
+The three readings are backed by gauges (``memory.current_saved_bytes``,
+``memory.peak_saved_bytes``, ``memory.recompute_flops``) in the global
+:mod:`repro.obs.metrics` registry, so one registry snapshot covers memory
+alongside the tile and comm counters; the attribute API below is
+unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.obs.metrics import MetricsRegistry, get_registry
 
 
-@dataclass
 class MemoryTracker:
     """Tracks currently-saved and peak activation bytes plus recompute work."""
 
-    current_saved_bytes: int = 0
-    peak_saved_bytes: int = 0
-    recompute_flops: float = 0.0
-    _live: dict[int, int] = field(default_factory=dict)
-    _next_handle: int = 0
+    def __init__(self, registry: MetricsRegistry | None = None):
+        if registry is None:
+            registry = MetricsRegistry()
+        self._current = registry.gauge("memory.current_saved_bytes")
+        self._peak = registry.gauge("memory.peak_saved_bytes")
+        self._recompute = registry.gauge("memory.recompute_flops")
+        self._live: dict[int, int] = {}
+        self._next_handle = 0
+
+    @property
+    def current_saved_bytes(self) -> int:
+        return int(self._current._value)
+
+    @current_saved_bytes.setter
+    def current_saved_bytes(self, value: int) -> None:
+        self._current._value = float(value)
+
+    @property
+    def peak_saved_bytes(self) -> int:
+        return int(self._peak._value)
+
+    @peak_saved_bytes.setter
+    def peak_saved_bytes(self, value: int) -> None:
+        self._peak._value = float(value)
+
+    @property
+    def recompute_flops(self) -> float:
+        return self._recompute._value
+
+    @recompute_flops.setter
+    def recompute_flops(self, value: float) -> None:
+        self._recompute._value = float(value)
 
     def register(self, nbytes: int) -> int:
         """Record ``nbytes`` of saved activations; returns a release handle."""
         handle = self._next_handle
         self._next_handle += 1
         self._live[handle] = nbytes
-        self.current_saved_bytes += nbytes
-        self.peak_saved_bytes = max(self.peak_saved_bytes, self.current_saved_bytes)
+        current = self._current._value + nbytes
+        self._current._value = current
+        if current > self._peak._value:
+            self._peak._value = current
         return handle
 
     def release(self, handle: int) -> None:
         nbytes = self._live.pop(handle, 0)
-        self.current_saved_bytes -= nbytes
+        self._current._value -= nbytes
 
     def add_recompute_flops(self, flops: float) -> None:
-        self.recompute_flops += flops
+        self._recompute._value += flops
 
     def reset(self) -> None:
-        self.current_saved_bytes = 0
-        self.peak_saved_bytes = 0
-        self.recompute_flops = 0.0
+        self._current._value = 0.0
+        self._peak._value = 0.0
+        self._recompute._value = 0.0
         self._live.clear()
 
 
-_TRACKER = MemoryTracker()
+_TRACKER = MemoryTracker(registry=get_registry())
 
 
 def get_tracker() -> MemoryTracker:

@@ -1,0 +1,69 @@
+"""Unified observability: span tracing, metrics, and trace exporters.
+
+The perf model (:mod:`repro.perf`) can *predict* a timeline; this package
+records the *observed* one from real executed runs and provides the plumbing
+to compare the two:
+
+* :mod:`repro.obs.tracer` — a zero-dependency span tracer.
+  :func:`trace_span` is a context manager instrumented through the hot
+  paths (communicator ops, flash kernels, ring transitions, checkpoint
+  recompute, fused LM-head tiles, trainer steps).  Tracing is **off by
+  default**; the disabled fast path is a single flag check returning a
+  shared no-op, so instrumentation costs nothing when not recording.
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters /
+  gauges / histograms with labels.  The ad-hoc tallies that used to live
+  in ``repro.kernels.tileplan``, ``repro.nn.memory`` and
+  ``repro.resilience`` are backed by (or mirrored into) the global
+  registry, giving one ``snapshot()`` / ``reset()`` API over all of them.
+* :mod:`repro.obs.export` — exporters: Chrome trace JSON in the *same
+  schema* as the DES exporter (:func:`repro.perf.trace.trace_to_chrome_json`)
+  so Perfetto shows predicted and observed timelines side by side, and
+  per-step JSONL metrics lines from the :class:`~repro.engine.Trainer`.
+* ``python -m repro.obs`` — CLI: ``trace-step`` records a tiny traced
+  training step, ``report`` summarises a trace, ``diff`` checks the
+  observed trace against the DES-predicted schedule.
+"""
+
+from repro.obs.tracer import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    get_tracer,
+    trace_span,
+    traced,
+    tracing_enabled,
+    use_tracing,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.export import (
+    spans_to_chrome_json,
+    validate_chrome_trace,
+    validate_metrics_jsonl,
+    write_step_metrics,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Span",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "spans_to_chrome_json",
+    "trace_span",
+    "traced",
+    "tracing_enabled",
+    "use_tracing",
+    "validate_chrome_trace",
+    "validate_metrics_jsonl",
+    "write_step_metrics",
+]

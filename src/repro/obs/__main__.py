@@ -1,0 +1,161 @@
+"""Command-line entry points for the observability subsystem.
+
+``python -m repro.obs <subcommand>``:
+
+* ``trace-step`` — run a tiny traced training step (2 layers, burst
+  attention, sequence-level selective checkpointing, fused LM head by
+  default) and write the observed Chrome trace, the step-metrics JSONL,
+  and the DES-predicted trace for the same configuration side by side.
+* ``report`` — schema-validate an observed trace and print the
+  time-by-phase / comm-volume / tile / recompute summary.  Exits
+  non-zero on malformed or zero-span traces.
+* ``diff`` — structurally compare an observed trace against the
+  DES-predicted schedule (see :func:`repro.obs.report.diff_traces`);
+  exits non-zero when the ring structure deviates beyond tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def _cmd_trace_step(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.engine import BurstEngine, EngineConfig
+    from repro.engine.trainer import Trainer
+    from repro.nn.checkpoint import CheckpointMode, CheckpointPolicy
+    from repro.nn.modules import TransformerConfig
+    from repro.obs.export import spans_to_chrome_json, validate_chrome_trace
+    from repro.obs.report import build_predicted_trace
+    from repro.obs.tracer import use_tracing
+    from repro.perf.schedules.attention import AttentionWorkload
+    from repro.topology import a800_node, make_cluster
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    trace_path = os.path.join(args.out_dir, "trace.json")
+    metrics_path = os.path.join(args.out_dir, "metrics.jsonl")
+    predicted_path = os.path.join(args.out_dir, "predicted.json")
+    if os.path.exists(metrics_path):
+        os.remove(metrics_path)
+
+    topology = make_cluster(
+        args.gpus, node=a800_node(gpus_per_node=args.gpus_per_node)
+    )
+    config = EngineConfig(
+        model=TransformerConfig(
+            vocab_size=128, dim=32, n_layers=2, n_heads=4, ffn_hidden=64,
+            max_seq_len=args.seq, attn_block_size=32,
+        ),
+        method=args.method,
+        checkpoint=CheckpointPolicy(CheckpointMode.SEQUENCE_LEVEL, 0.5),
+        head_impl="fused",
+    )
+    engine = BurstEngine(config, topology)
+    rng = np.random.default_rng(0)
+    ids = rng.integers(0, 128, args.seq)
+    targets = rng.integers(0, 128, args.seq)
+    trainer = Trainer(engine=engine, metrics_path=metrics_path)
+    with use_tracing() as tracer:
+        trainer.fit([(ids, targets)], steps=args.steps)
+    spans = tracer.spans()
+    payload = spans_to_chrome_json(
+        spans, trace_path,
+        metadata={
+            "method": args.method,
+            "world_size": topology.world_size,
+            "gpus_per_node": topology.gpus_per_node,
+            "seq_len": args.seq,
+            "steps": args.steps,
+        },
+    )
+    validate_chrome_trace(payload)
+    print(f"wrote {trace_path} ({len(spans)} spans)")
+    print(f"wrote {metrics_path} ({args.steps} step record(s))")
+    try:
+        workload = AttentionWorkload(
+            seq_len=args.seq, hidden=32, n_heads=4
+        )
+        build_predicted_trace(args.method, topology, workload, predicted_path)
+        print(f"wrote {predicted_path} (DES-predicted schedule)")
+    except ValueError as exc:
+        print(f"skipped predicted trace: {exc}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import load_metrics, load_trace, render_report
+
+    try:
+        payload = load_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: invalid trace {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    records = None
+    if args.metrics is not None:
+        try:
+            records = load_metrics(args.metrics)
+        except (OSError, ValueError) as exc:
+            print(
+                f"error: invalid metrics {args.metrics}: {exc}", file=sys.stderr
+            )
+            return 1
+    print(render_report(payload, records))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.obs.report import diff_traces, load_trace
+
+    try:
+        observed = load_trace(args.trace)
+        predicted = load_trace(args.predicted, validate=False)
+        ok, lines = diff_traces(
+            observed, predicted, tolerance=args.tolerance
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print("\n".join(lines))
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="observability: trace a step, report on it, diff vs DES",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser(
+        "trace-step", help="run a tiny traced training step and export"
+    )
+    p.add_argument("--out-dir", required=True)
+    p.add_argument("--method", default="burst")
+    p.add_argument("--steps", type=int, default=1)
+    p.add_argument("--seq", type=int, default=128)
+    p.add_argument("--gpus", type=int, default=8)
+    p.add_argument("--gpus-per-node", type=int, default=4)
+    p.set_defaults(fn=_cmd_trace_step)
+
+    p = sub.add_parser("report", help="summarize an observed trace")
+    p.add_argument("trace")
+    p.add_argument("--metrics", default=None)
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser(
+        "diff", help="compare an observed trace with the DES prediction"
+    )
+    p.add_argument("trace")
+    p.add_argument("--predicted", required=True)
+    p.add_argument("--tolerance", type=float, default=0.05)
+    p.set_defaults(fn=_cmd_diff)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,195 @@
+"""Exporters: observed Chrome traces and per-step JSONL metrics.
+
+The Chrome-trace exporter emits the *same event schema* as the DES
+exporter (:func:`repro.perf.trace.trace_to_chrome_json`): duration events
+``{"name", "ph": "X", "ts", "dur", "pid", "tid", "args"}`` with
+timestamps in microseconds, plus ``ph: "M"`` ``thread_name`` metadata
+naming each row.  Predicted traces use ``pid=1``; observed traces use
+``pid=2`` — load both into Perfetto and the two timelines appear as
+separate processes, row for row.
+
+Rows are keyed by span *phase* (``compute``, ``intra-ring``,
+``inter-ring``, ``ckpt-recompute``, ``lmhead``, ``comm``, ``attn``,
+``step``), one track per (phase, source thread) so nesting stays valid
+per track even for multithreaded runs.
+
+The JSONL metrics writer appends one JSON object per training step; the
+schema is validated by :func:`validate_metrics_jsonl` and exercised by
+the trainer (``Trainer(metrics_path=...)``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Sequence
+
+from repro.obs.tracer import Span
+
+__all__ = [
+    "OBSERVED_PID",
+    "PREDICTED_PID",
+    "spans_to_chrome_json",
+    "validate_chrome_trace",
+    "validate_metrics_jsonl",
+    "write_step_metrics",
+]
+
+PREDICTED_PID = 1   # pid used by repro.perf.trace.trace_to_chrome_json
+OBSERVED_PID = 2
+
+#: keys every per-step JSONL metrics record must carry
+STEP_METRIC_KEYS = (
+    "step",
+    "comm_elems",
+    "comm_bytes",
+    "comm_by_phase",
+    "comm_by_link",
+)
+
+
+def spans_to_chrome_json(
+    spans: Sequence[Span],
+    path: str | None = None,
+    *,
+    metadata: dict[str, Any] | None = None,
+    pid: int = OBSERVED_PID,
+    process_name: str = "observed",
+) -> str:
+    """Serialise finished spans as a Chrome trace JSON string.
+
+    ``metadata`` (run config: method, world size, sequence length, ...)
+    is embedded at the top level of the payload where Perfetto ignores it
+    but ``python -m repro.obs diff`` reads it back.
+    """
+    events: list[dict[str, Any]] = []
+    # One track per (phase, source thread); the first thread seen for a
+    # phase owns the plain phase name, later threads get a suffix.
+    rows: dict[tuple[str, int], tuple[int, str]] = {}
+    threads_per_phase: dict[str, int] = {}
+    for sp in sorted(spans, key=lambda s: (s.ts, -s.dur)):
+        phase = sp.phase or "misc"
+        key = (phase, sp.tid)
+        if key not in rows:
+            n = threads_per_phase.get(phase, 0)
+            threads_per_phase[phase] = n + 1
+            name = phase if n == 0 else f"{phase} (t{n})"
+            rows[key] = (len(rows) + 1, name)
+        tid, _ = rows[key]
+        args: dict[str, Any] = {"phase": phase, "depth": sp.depth}
+        if sp.rank is not None:
+            args["rank"] = sp.rank
+        args.update(sp.attrs)
+        events.append(
+            {
+                "name": sp.name,
+                "ph": "X",
+                "ts": round(sp.ts * 1e6, 3),   # chrome traces use us
+                "dur": round(sp.dur * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    for (_phase, _thread), (tid, name) in rows.items():
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+             "args": {"name": name}}
+        )
+    events.append(
+        {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+         "args": {"name": process_name}}
+    )
+    doc: dict[str, Any] = {"traceEvents": events}
+    if metadata:
+        doc["metadata"] = dict(metadata)
+    payload = json.dumps(doc, indent=2)
+    if path is not None:
+        with open(path, "w") as fh:
+            fh.write(payload)
+    return payload
+
+
+def validate_chrome_trace(payload: str | dict) -> dict[str, Any]:
+    """Strictly validate a Chrome trace document; raise ``ValueError``.
+
+    Checks the contract both exporters promise: a ``traceEvents`` list
+    whose ``"X"`` events each carry ``name``/``ph``/``ts``/``dur``/
+    ``pid``/``tid``, with spans properly nested (contained or disjoint)
+    per ``(pid, tid)`` track, and at least one duration event.  Returns
+    the parsed document on success.
+    """
+    doc = json.loads(payload) if isinstance(payload, str) else payload
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        raise ValueError("trace is not a {'traceEvents': [...]} document")
+    duration_events: dict[tuple[int, int], list[dict]] = {}
+    n_x = 0
+    for i, ev in enumerate(doc["traceEvents"]):
+        if not isinstance(ev, dict) or "ph" not in ev:
+            raise ValueError(f"event #{i} has no 'ph' field: {ev!r}")
+        if ev["ph"] == "M":
+            continue
+        if ev["ph"] != "X":
+            raise ValueError(f"event #{i}: unsupported phase {ev['ph']!r}")
+        for field in ("name", "ts", "dur", "pid", "tid"):
+            if field not in ev:
+                raise ValueError(f"event #{i} ({ev.get('name')!r}) missing {field!r}")
+        if ev["dur"] < 0:
+            raise ValueError(f"event #{i} ({ev['name']!r}) has negative dur")
+        n_x += 1
+        duration_events.setdefault((ev["pid"], ev["tid"]), []).append(ev)
+    if n_x == 0:
+        raise ValueError("trace contains zero duration events")
+    eps = 0.002  # us; absorbs the exporters' 3-decimal rounding
+    for (pid, tid), evs in duration_events.items():
+        evs.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack: list[tuple[float, float]] = []
+        for ev in evs:
+            start, end = ev["ts"], ev["ts"] + ev["dur"]
+            while stack and start >= stack[-1][1] - eps:
+                stack.pop()
+            if stack and end > stack[-1][1] + eps:
+                raise ValueError(
+                    f"track pid={pid} tid={tid}: event {ev['name']!r} "
+                    f"[{start}, {end}] overlaps but is not nested within "
+                    f"enclosing span ending at {stack[-1][1]}"
+                )
+            stack.append((start, end))
+    return doc
+
+
+def write_step_metrics(path: str, record: dict[str, Any]) -> None:
+    """Append one per-step metrics record as a JSON line."""
+    missing = [k for k in STEP_METRIC_KEYS if k not in record]
+    if missing:
+        raise ValueError(f"step metrics record missing keys: {missing}")
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record) + "\n")
+
+
+def validate_metrics_jsonl(lines: str | Iterable[str]) -> list[dict[str, Any]]:
+    """Parse + schema-check JSONL metrics; raise ``ValueError`` on damage.
+
+    Accepts a path-like string (contents of the file) split on newlines
+    or any iterable of lines.  Every non-empty line must be a JSON object
+    carrying the :data:`STEP_METRIC_KEYS`.
+    """
+    if isinstance(lines, str):
+        lines = lines.splitlines()
+    records: list[dict[str, Any]] = []
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"metrics line {i + 1} is not valid JSON: {exc}")
+        if not isinstance(rec, dict):
+            raise ValueError(f"metrics line {i + 1} is not a JSON object")
+        missing = [k for k in STEP_METRIC_KEYS if k not in rec]
+        if missing:
+            raise ValueError(f"metrics line {i + 1} missing keys: {missing}")
+        records.append(rec)
+    if not records:
+        raise ValueError("metrics file contains no records")
+    return records

@@ -1,0 +1,486 @@
+"""Reporting and predicted-vs-observed diffing for real-execution traces.
+
+Two consumers sit on top of the exporters in :mod:`repro.obs.export`:
+
+* :func:`render_report` — a plain-text summary of one observed trace
+  (wall time by phase via per-row interval union, comm volume by link
+  class and logical phase from the step-metrics JSONL, tile planner
+  effectiveness, recompute fraction).
+
+* :func:`diff_traces` — a *structural*, deterministic comparison of an
+  observed trace against the DES-predicted schedule for the same config.
+  Wall-clock seconds are not comparable (numpy on the host vs the modeled
+  A800 cluster), but the ring *structure* is: the schedule builders fix
+  how many intra-node and inter-node transitions one attention pass
+  performs, and the observed ``ring.transition`` spans must replicate
+  that pattern an integer number of times per logical phase.  The check
+  flags any phase whose intra/inter split (the overlap structure of
+  Fig. 5) deviates from the prediction beyond a tolerance.
+
+:func:`build_predicted_trace` renders the DES timeline for the same
+attention passes as a Chrome trace (``pid`` 1, the convention of
+:func:`repro.perf.trace.trace_to_chrome_json`) so Perfetto shows the
+predicted and observed schedules side by side, and embeds the per-pass
+transition counts as metadata for :func:`diff_traces`.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import validate_chrome_trace, validate_metrics_jsonl
+
+#: Logical phases whose ring structure the diff gate understands.
+RING_PHASES = ("attn-fwd", "attn-bwd")
+
+#: Observed-trace rows carrying ring transitions, keyed by link kind.
+_RING_ROWS = {"intra": "intra-ring", "inter": "inter-ring"}
+
+
+# --------------------------------------------------------------------------
+# trace loading and interval arithmetic
+# --------------------------------------------------------------------------
+
+def load_trace(path: str, *, validate: bool = True) -> dict:
+    """Read a Chrome trace JSON file, optionally schema-validating it."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if validate:
+        validate_chrome_trace(payload)
+    return payload
+
+
+def _as_payload(payload: dict | str) -> dict:
+    """Accept either a parsed trace dict or the exporters' JSON string."""
+    if isinstance(payload, str):
+        return json.loads(payload)
+    return payload
+
+
+def _x_events(payload: dict | str) -> list[dict]:
+    payload = _as_payload(payload)
+    return [e for e in payload.get("traceEvents", []) if e.get("ph") == "X"]
+
+
+def _row_names(payload: dict | str) -> dict[tuple[int, int], str]:
+    """``(pid, tid) -> row name`` from the trace's thread_name metadata."""
+    rows = {}
+    for e in _as_payload(payload).get("traceEvents", []):
+        if e.get("ph") == "M" and e.get("name") == "thread_name":
+            rows[(e.get("pid"), e["tid"])] = e["args"]["name"]
+    return rows
+
+
+def interval_union(intervals: list[tuple[float, float]]) -> float:
+    """Total length covered by ``[start, end)`` intervals (overlaps merged)."""
+    total = 0.0
+    end = float("-inf")
+    for s, e in sorted(intervals):
+        if e <= end:
+            continue
+        total += e - max(s, end)
+        end = e
+    return total
+
+
+def time_by_phase(payload: dict | str) -> dict[str, float]:
+    """Wall microseconds per phase, as the union of that phase's spans.
+
+    Nested spans on one row (e.g. ``comm.*`` inside ``resilient.*``) are
+    counted once — this is occupancy, not a sum of durations.  The phase
+    is taken from each event's ``args.phase`` when present, falling back
+    to its row name, so multi-threaded rows ("comm (t2)") still aggregate
+    under their base phase.
+    """
+    payload = _as_payload(payload)
+    rows = _row_names(payload)
+    by_phase: dict[str, list[tuple[float, float]]] = {}
+    for e in _x_events(payload):
+        phase = e.get("args", {}).get("phase") or rows.get(
+            (e.get("pid"), e.get("tid")), "?"
+        )
+        by_phase.setdefault(phase, []).append((e["ts"], e["ts"] + e["dur"]))
+    return {ph: interval_union(iv) for ph, iv in by_phase.items()}
+
+
+def observed_ring_counts(payload: dict | str) -> dict[str, dict[str, int]]:
+    """Count ``ring.transition`` spans per logical phase and link kind.
+
+    Returns ``{logical_phase: {"intra": n, "inter": n}}`` where the
+    logical phase is the communicator phase the transition served
+    (``attn-fwd`` / ``attn-bwd``) and the link kind comes from the span's
+    trace row.
+    """
+    counts: dict[str, dict[str, int]] = {}
+    for e in _x_events(payload):
+        if e.get("name") != "ring.transition":
+            continue
+        args = e.get("args", {})
+        logical = args.get("logical", "?")
+        row = args.get("phase", "")
+        kind = "inter" if row == _RING_ROWS["inter"] else "intra"
+        d = counts.setdefault(logical, {"intra": 0, "inter": 0})
+        d[kind] += 1
+    return counts
+
+
+# --------------------------------------------------------------------------
+# predicted schedule structure
+# --------------------------------------------------------------------------
+
+def schedule_pass_counts(schedule) -> dict[str, int]:
+    """Intra/inter transition counts of one full circulation of a
+    :class:`~repro.comm.RingSchedule`."""
+    from repro.topology import LinkClass
+
+    counts = {"intra": 0, "inter": 0}
+    for t in range(len(schedule.transitions)):
+        cls = schedule.transition_link_class(t)
+        if cls is LinkClass.INTER:
+            counts["inter"] += 1
+        elif cls is LinkClass.INTRA:
+            counts["intra"] += 1
+    return counts
+
+
+def predicted_pass_counts(method_name: str, topology) -> dict[str, int]:
+    """Per-pass transition counts the method's own schedule builder fixes.
+
+    All-to-all methods (Ulysses) have no ring schedule and predict zero
+    transitions; USP's ring runs through grouped schedules its method
+    builds internally, which the structural gate does not model.
+    """
+    from repro.attention import get_method
+
+    method = get_method(method_name)
+    sched_fn = getattr(method, "_schedule", None)
+    if sched_fn is None:
+        return {"intra": 0, "inter": 0}
+    return schedule_pass_counts(sched_fn(topology))
+
+
+#: DES pass-construction flags per ring-family method (mirrors
+#: :func:`repro.perf.schedules.attention.attention_pass_time`).
+_METHOD_DES_FLAGS = {
+    "megatron-cp": dict(flat=True, serialize_gradients=True, alg2=False),
+    "loongtrain-double": dict(flat=False, serialize_gradients=True, alg2=False),
+    "burst": dict(flat=False, serialize_gradients=False, alg2=True),
+}
+
+
+def build_predicted_trace(
+    method: str,
+    topology,
+    workload,
+    path: str | None = None,
+    *,
+    ring_window: int | None = None,
+) -> dict:
+    """DES-predicted Chrome trace for one fwd + one bwd attention pass.
+
+    Renders the same task graphs :func:`attention_pass_time` times onto
+    ``pid`` 1 (the DES exporter's process), backward offset to start at
+    the forward makespan, and embeds ``metadata.per_pass`` — the
+    schedule's intra/inter transition counts — for :func:`diff_traces`.
+    Only the ring-family methods have a DES pass graph here.
+    """
+    from repro.perf.cost import matmul_time
+    from repro.perf.des import Simulator
+    from repro.perf.schedules.attention import (
+        ATTENTION_EFFICIENCY,
+        BACKWARD_FLOPS_FACTOR,
+        _pipelined_ring,
+        _transition_durations,
+    )
+
+    if method not in _METHOD_DES_FLAGS:
+        raise ValueError(
+            f"no DES pass graph for method {method!r}; "
+            f"expected one of {sorted(_METHOD_DES_FLAGS)}"
+        )
+    flags = _METHOD_DES_FLAGS[method]
+    g = topology.world_size
+    peak = topology.node.gpu.peak_flops
+    shard = workload.shard_bytes(g)
+    kv_shard = workload.kv_shard_bytes(g)
+
+    def _pass(prefix: str, backward: bool) -> Simulator:
+        flops = workload.fwd_flops_per_gpu(g)
+        if backward:
+            flops *= BACKWARD_FLOPS_FACTOR
+        step_compute = matmul_time(flops / g, peak, ATTENTION_EFFICIENCY)
+        sim = Simulator()
+        if not backward:
+            transitions = _transition_durations(
+                topology, 2 * kv_shard, flags["flat"], ring_window
+            )
+            _pipelined_ring(sim, prefix, transitions, step_compute, False)
+        elif flags["alg2"]:
+            payload = shard * (3 + 2 / workload.hidden)
+            transitions = _transition_durations(
+                topology, payload, flags["flat"], ring_window
+            )
+            _pipelined_ring(sim, prefix, transitions, step_compute, True)
+        else:
+            kv = _transition_durations(
+                topology, 2 * kv_shard, flags["flat"], ring_window
+            )
+            if flags["serialize_gradients"]:
+                last = _pipelined_ring(sim, prefix, kv, step_compute, False)
+                # LoongTrain / Megatron drain the gradient buffers
+                # serially after compute (Table 1's +2(I·T_i + E·T_e)).
+                for t, (res, dur) in enumerate(kv):
+                    name = f"{prefix}g{t}"
+                    sim.add(name, dur, resources=(res,), deps=(last,))
+                    last = name
+            else:
+                both = [(res, 2 * dur) for res, dur in kv]
+                _pipelined_ring(sim, prefix, both, step_compute, True)
+        sim.run()
+        return sim
+
+    sims = [("attn-fwd/", _pass("attn-fwd/", False)),
+            ("attn-bwd/", _pass("attn-bwd/", True))]
+    events: list[dict] = []
+    rows: dict[str, int] = {}
+    offset = 0.0
+    for _, sim in sims:
+        makespan = 0.0
+        for task in sim.timeline():
+            row = task.resources[0] if task.resources else "free"
+            tid = rows.setdefault(row, len(rows) + 1)
+            events.append({
+                "name": task.name,
+                "ph": "X",
+                "ts": round((offset + task.start) * 1e6, 3),
+                "dur": round(task.duration * 1e6, 3),
+                "pid": 1,
+                "tid": tid,
+                "args": {"resource": row},
+            })
+            makespan = max(makespan, task.end)
+        offset += makespan
+    for row, tid in rows.items():
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+            "args": {"name": row},
+        })
+    events.append({
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+        "args": {"name": "predicted (DES)"},
+    })
+    payload = {
+        "traceEvents": events,
+        "metadata": {
+            "method": method,
+            "world_size": g,
+            "gpus_per_node": topology.gpus_per_node,
+            "per_pass": predicted_pass_counts(method, topology),
+            "modeled_makespan_s": offset,
+        },
+    }
+    if path is not None:
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+    return payload
+
+
+# --------------------------------------------------------------------------
+# report rendering
+# --------------------------------------------------------------------------
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    return f"{n:.1f} GiB"
+
+
+def summarize_metrics(records: list[dict]) -> dict:
+    """Aggregate step-metrics JSONL records into run totals."""
+    out = {
+        "steps": len(records),
+        "comm_elems": 0, "comm_bytes": 0,
+        "by_link": {}, "by_phase": {},
+        "tiles_computed": 0, "tiles_skipped": 0,
+        "recompute_flops": 0.0,
+    }
+    for rec in records:
+        out["comm_elems"] += rec.get("comm_elems", 0)
+        out["comm_bytes"] += rec.get("comm_bytes", 0)
+        for key in ("by_link", "by_phase"):
+            for name, d in rec.get(f"comm_{key}", {}).items():
+                tgt = out[key].setdefault(name, {"elems": 0, "bytes": 0})
+                tgt["elems"] += d.get("elems", 0)
+                tgt["bytes"] += d.get("bytes", 0)
+        out["tiles_computed"] += rec.get("tiles_computed", 0)
+        out["tiles_skipped"] += rec.get("tiles_skipped", 0)
+        out["recompute_flops"] += rec.get("recompute_flops", 0.0)
+    return out
+
+
+def render_report(payload: dict | str, metrics_records: list[dict] | None = None) -> str:
+    """Plain-text report over one observed trace (+ optional metrics)."""
+    payload = _as_payload(payload)
+    lines: list[str] = []
+    events = _x_events(payload)
+    phases = time_by_phase(payload)
+    total = sum(phases.values())
+    meta = payload.get("metadata", {})
+    header = "observed trace"
+    if meta.get("method"):
+        header += (
+            f" — method={meta['method']}, world={meta.get('world_size', '?')}"
+            f" ({meta.get('gpus_per_node', '?')}/node)"
+        )
+    lines.append(header)
+    lines.append(f"  spans: {len(events)}")
+    lines.append("")
+    lines.append("time by phase (span-union wall time):")
+    step_time = phases.get("step", 0.0)
+    for phase in sorted(phases, key=phases.get, reverse=True):
+        us = phases[phase]
+        share = us / step_time if step_time else 0.0
+        lines.append(
+            f"  {phase:<16} {us / 1e3:10.3f} ms"
+            + (f"  ({share:6.1%} of step)" if phase != "step" else "")
+        )
+    compute = phases.get("compute", 0.0)
+    recompute = phases.get("ckpt-recompute", 0.0)
+    if compute:
+        lines.append("")
+        lines.append(
+            f"recompute fraction: {recompute / compute:.1%} of kernel "
+            "compute time under recompute spans"
+        )
+    counts = observed_ring_counts(payload)
+    if counts:
+        lines.append("")
+        lines.append("ring transitions by logical phase:")
+        for logical in sorted(counts):
+            d = counts[logical]
+            lines.append(
+                f"  {logical:<10} intra={d['intra']:<4} inter={d['inter']}"
+            )
+    if metrics_records:
+        s = summarize_metrics(metrics_records)
+        lines.append("")
+        lines.append(
+            f"comm volume over {s['steps']} step(s): "
+            f"{s['comm_elems']} elems, {_fmt_bytes(s['comm_bytes'])}"
+        )
+        lines.append("  by link class:")
+        for link in sorted(s["by_link"]):
+            d = s["by_link"][link]
+            lines.append(
+                f"    {link:<8} {d['elems']:>12} elems  {_fmt_bytes(d['bytes'])}"
+            )
+        lines.append("  by logical phase:")
+        for phase in sorted(s["by_phase"]):
+            d = s["by_phase"][phase]
+            lines.append(
+                f"    {phase:<10} {d['elems']:>12} elems  {_fmt_bytes(d['bytes'])}"
+            )
+        tiles = s["tiles_computed"] + s["tiles_skipped"]
+        if tiles:
+            lines.append(
+                f"tiles: {s['tiles_computed']} computed, "
+                f"{s['tiles_skipped']} skipped "
+                f"({s['tiles_skipped'] / tiles:.1%} skip rate)"
+            )
+        if s["recompute_flops"]:
+            lines.append(f"recompute flops: {s['recompute_flops']:.3e}")
+    return "\n".join(lines)
+
+
+def load_metrics(path: str) -> list[dict]:
+    """Read and validate a step-metrics JSONL file."""
+    with open(path) as fh:
+        text = fh.read()
+    return validate_metrics_jsonl(text)
+
+
+# --------------------------------------------------------------------------
+# observed-vs-predicted diff
+# --------------------------------------------------------------------------
+
+def diff_traces(
+    observed: dict | str, predicted: dict | str, *, tolerance: float = 0.05
+) -> tuple[bool, list[str]]:
+    """Structurally compare an observed trace with a DES prediction.
+
+    For each logical ring phase the observed intra (``I``) / inter
+    (``E``) transition counts must be an integer multiple of the
+    schedule's per-pass counts (``I_p``, ``E_p``) — same multiple for
+    both, one per attention pass executed — and the observed inter-link
+    share ``E/(I+E)`` must sit within ``tolerance`` of the predicted
+    ``E_p/(I_p+E_p)``.  Modeled-vs-observed time shares are reported but
+    never gate: numpy wall time on the host says nothing about A800 link
+    occupancy.
+
+    Returns ``(ok, report_lines)``.
+    """
+    observed = _as_payload(observed)
+    predicted = _as_payload(predicted)
+    meta = predicted.get("metadata", {})
+    per_pass = meta.get("per_pass")
+    if per_pass is None:
+        raise ValueError(
+            "predicted trace has no metadata.per_pass; build it with "
+            "build_predicted_trace (or `python -m repro.obs trace-step`)"
+        )
+    i_p, e_p = int(per_pass.get("intra", 0)), int(per_pass.get("inter", 0))
+    counts = observed_ring_counts(observed)
+    lines = [
+        f"predicted per-pass transitions: intra={i_p} inter={e_p}"
+        + (f"  (method={meta.get('method')})" if meta.get("method") else "")
+    ]
+    ok = True
+    logicals = sorted(set(counts) | set(RING_PHASES)) if (i_p or e_p) else sorted(counts)
+    for logical in logicals:
+        d = counts.get(logical, {"intra": 0, "inter": 0})
+        i_o, e_o = d["intra"], d["inter"]
+        if i_p == 0 and e_p == 0:
+            good = i_o == 0 and e_o == 0
+            verdict = "OK" if good else "MISMATCH (expected no ring transitions)"
+            ok &= good
+            lines.append(f"  {logical:<10} intra={i_o} inter={e_o}  {verdict}")
+            continue
+        passes = e_o // e_p if e_p else i_o // i_p if i_p else 0
+        structural = i_o == passes * i_p and e_o == passes * e_p and passes >= 1
+        pred_frac = e_p / (i_p + e_p)
+        obs_frac = e_o / (i_o + e_o) if (i_o + e_o) else 0.0
+        within = abs(obs_frac - pred_frac) <= tolerance
+        good = structural and within
+        ok &= good
+        verdict = "OK" if good else (
+            "MISMATCH (not an integer number of passes)"
+            if not structural
+            else f"MISMATCH (inter share off by {abs(obs_frac - pred_frac):.3f})"
+        )
+        lines.append(
+            f"  {logical:<10} intra={i_o:<4} inter={e_o:<3} "
+            f"-> {passes} pass(es), inter share {obs_frac:.3f} "
+            f"vs predicted {pred_frac:.3f}  {verdict}"
+        )
+    obs_phases = time_by_phase(observed)
+    pred_phases = time_by_phase(predicted)
+    ring_obs = {
+        k: obs_phases.get(v, 0.0) for k, v in _RING_ROWS.items()
+    }
+    ring_pred = {
+        "intra": pred_phases.get("intra", 0.0),
+        "inter": pred_phases.get("inter", 0.0),
+    }
+    tot_o, tot_p = sum(ring_obs.values()), sum(ring_pred.values())
+    if tot_o and tot_p:
+        lines.append(
+            "link-time shares (report only): observed "
+            f"intra={ring_obs['intra'] / tot_o:.1%} "
+            f"inter={ring_obs['inter'] / tot_o:.1%} | modeled "
+            f"intra={ring_pred['intra'] / tot_p:.1%} "
+            f"inter={ring_pred['inter'] / tot_p:.1%}"
+        )
+    lines.append("schedule diff: " + ("OK" if ok else "MISMATCH"))
+    return ok, lines

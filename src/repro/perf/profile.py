@@ -64,8 +64,16 @@ def profile_traffic(log: TrafficLog, topology: ClusterTopology) -> dict[str, Pha
 
 
 def profile_report(log: TrafficLog, topology: ClusterTopology) -> str:
-    """Human-readable per-phase communication table."""
+    """Human-readable per-phase communication table.
+
+    An empty log yields an explicit "(no traffic recorded)" report rather
+    than a bare header — profiling a run that never touched the
+    communicator (tracing misconfigured, wrong communicator instance) is
+    a diagnosable state, not an empty table.
+    """
     profiles = profile_traffic(log, topology)
+    if not profiles:
+        return "(no traffic recorded)"
     rows = []
     for phase, prof in profiles.items():
         for link, nbytes in sorted(prof.bytes_by_link.items(),

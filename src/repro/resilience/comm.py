@@ -39,6 +39,8 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.comm import SimCommunicator, TrafficLog
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import trace_span
 from repro.topology import ClusterTopology
 
 __all__ = [
@@ -192,6 +194,9 @@ class FaultMonitor:
     faults_by_rank: dict[int, int] = field(default_factory=dict)
     recoveries: list[tuple[str, int, int]] = field(default_factory=list)
     total_backoff_s: float = 0.0
+    #: mirror every event into the global metrics registry
+    #: (``resilience.*`` counters) so one snapshot covers fault state too
+    mirror_to_registry: bool = True
 
     @property
     def total_faults(self) -> int:
@@ -217,14 +222,22 @@ class FaultMonitor:
                        ranks=list(ranks), attempt=attempt)
         )
         self.total_backoff_s += backoff_s
+        if self.mirror_to_registry:
+            reg = get_registry()
+            reg.counter("resilience.faults").inc(op=op)
+            reg.counter("resilience.backoff_seconds").inc(backoff_s)
         for r in ranks:
             count = self.faults_by_rank.get(r, 0) + 1
             self.faults_by_rank[r] = count
+            if self.mirror_to_registry:
+                get_registry().counter("resilience.faults_by_rank").inc(rank=r)
             if self.escalate_threshold is not None and count > self.escalate_threshold:
                 raise FaultEscalation(r, count, self.escalate_threshold)
 
     def record_recovery(self, op: str, call_index: int, attempts: int) -> None:
         self.recoveries.append((op, call_index, attempts))
+        if self.mirror_to_registry:
+            get_registry().counter("resilience.recoveries").inc(op=op)
 
     def summary(self) -> str:
         per_rank = ", ".join(
@@ -288,26 +301,30 @@ class ResilientCommunicator:
         """Issue a delivery op, verify per-rank checksums, retry on damage."""
         self.call_index += 1
         idx = self.call_index
-        advertised = [tree_checksum(e) for e in expected]
-        bad: list[int] = []
-        for attempt in range(self.retry.max_retries + 1):
-            out = issue()
-            bad = [
-                i for i, digest in enumerate(advertised)
-                if tree_checksum(out[i]) != digest
-            ]
-            if not bad:
-                if attempt:
-                    self.monitor.record_recovery(op, idx, attempt + 1)
-                return out
-            self.monitor.record_fault(
+        with trace_span(f"resilient.{op}", phase="comm",
+                        logical=phase, tag=tag, call=idx) as sp:
+            advertised = [tree_checksum(e) for e in expected]
+            bad: list[int] = []
+            for attempt in range(self.retry.max_retries + 1):
+                out = issue()
+                bad = [
+                    i for i, digest in enumerate(advertised)
+                    if tree_checksum(out[i]) != digest
+                ]
+                if not bad:
+                    if attempt:
+                        self.monitor.record_recovery(op, idx, attempt + 1)
+                    if sp:
+                        sp["attempts"] = attempt + 1
+                    return out
+                self.monitor.record_fault(
+                    op=op, phase=phase, tag=tag, call_index=idx, ranks=bad,
+                    backoff_s=self.retry.delay(attempt), attempt=attempt,
+                )
+            raise CommFailure(
                 op=op, phase=phase, tag=tag, call_index=idx, ranks=bad,
-                backoff_s=self.retry.delay(attempt), attempt=attempt,
+                attempts=self.retry.max_retries + 1,
             )
-        raise CommFailure(
-            op=op, phase=phase, tag=tag, call_index=idx, ranks=bad,
-            attempts=self.retry.max_retries + 1,
-        )
 
     # --- guarded delivery ops ----------------------------------------------
 
@@ -355,18 +372,22 @@ class ResilientCommunicator:
         # machinery applies; a mismatch blames the destination rank.
         self.call_index += 1
         idx = self.call_index
-        advertised = tree_checksum(payload)
-        for attempt in range(self.retry.max_retries + 1):
-            out = self.inner.send(src, dst, payload, phase=phase, tag=tag)
-            if tree_checksum(out) == advertised:
-                if attempt:
-                    self.monitor.record_recovery("send", idx, attempt + 1)
-                return out
-            self.monitor.record_fault(
+        with trace_span("resilient.send", phase="comm",
+                        logical=phase, tag=tag, call=idx) as sp:
+            advertised = tree_checksum(payload)
+            for attempt in range(self.retry.max_retries + 1):
+                out = self.inner.send(src, dst, payload, phase=phase, tag=tag)
+                if tree_checksum(out) == advertised:
+                    if attempt:
+                        self.monitor.record_recovery("send", idx, attempt + 1)
+                    if sp:
+                        sp["attempts"] = attempt + 1
+                    return out
+                self.monitor.record_fault(
+                    op="send", phase=phase, tag=tag, call_index=idx, ranks=[dst],
+                    backoff_s=self.retry.delay(attempt), attempt=attempt,
+                )
+            raise CommFailure(
                 op="send", phase=phase, tag=tag, call_index=idx, ranks=[dst],
-                backoff_s=self.retry.delay(attempt), attempt=attempt,
+                attempts=self.retry.max_retries + 1,
             )
-        raise CommFailure(
-            op="send", phase=phase, tag=tag, call_index=idx, ranks=[dst],
-            attempts=self.retry.max_retries + 1,
-        )
