@@ -29,7 +29,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.comm import RingSchedule, SimCommunicator
+from repro.comm import BidirectionalFlow, RingSchedule, SimCommunicator
+from repro.comm.ring import check_ring_mode
 from repro.kernels import (
     BiasTileCache,
     KernelWorkspace,
@@ -91,13 +92,22 @@ def burst_attention_backward(
     *,
     phase: str = "attn-bwd",
     block_size: int = 128,
+    ring_mode: str = "unidirectional",
 ) -> tuple[list[np.ndarray], list[np.ndarray], list[np.ndarray]]:
     """Algorithm 2: BurstAttention's communication-optimised backward pass.
 
     Per-rank send volume is exactly ``3Nd + 2N·H`` elements (``H`` = number
     of leading head slots; the paper's single-head statement is ``3Nd+2N``),
     ~25 % below Algorithm 1's ``4Nd``.  Returns per-rank ``(dqs, dks, dvs)``.
+
+    Under ``ring_mode="bidirectional"`` the read-only ``(Q, dO, D, Lse)``
+    parts of the bundle split across two counter-rotating streams while
+    the ``dQ`` accumulator rides the full forward circulation (keeping its
+    addition order, and therefore the results, bitwise identical); once
+    the reverse stream takes over, the forward bundle and the return hop
+    carry ``dQ`` alone.
     """
+    check_ring_mode(ring_mode)
     g = comm.world_size
     if scale is None:
         scale = 1.0 / np.sqrt(qs[0].shape[-1])
@@ -121,11 +131,25 @@ def burst_attention_backward(
         )
         for r in range(g)
     ]
+    flow = (
+        BidirectionalFlow(
+            comm, schedule,
+            [(bufs[r][0], bufs[r][2], bufs[r][3], bufs[r][4]) for r in range(g)],
+            phase=phase, tag="q+grads",
+        )
+        if ring_mode == "bidirectional"
+        else None
+    )
+    ro: list[object] | None = None
 
     for t in range(steps):
         for r in range(g):
             j = origins[t][r]
-            q_j, dq_j, do_j, d_j, lse_j = bufs[r]
+            if ro is None:
+                q_j, dq_j, do_j, d_j, lse_j = bufs[r]
+            else:
+                q_j, do_j, d_j, lse_j = ro[r]
+                (dq_j,) = bufs[r]
             # Queries are shard j, keys/values are pinned shard r.
             skip, plan, tile, bias = _resolve_tiles(
                 mask, idxs[j], idxs[r], block_size, bias_cache
@@ -139,13 +163,25 @@ def burst_attention_backward(
             )
             dks[r] += dk_part
             dvs[r] += dv_part
-            bufs[r] = (q_j, dq_j + dq_part, do_j, d_j, lse_j)
+            if ro is None:
+                bufs[r] = (q_j, dq_j + dq_part, do_j, d_j, lse_j)
+            else:
+                bufs[r] = (dq_j + dq_part,)
         if t < steps - 1:
+            if flow is not None and t == flow.forward_transitions:
+                # Query-side delivery is now the reverse stream's job;
+                # only the dQ accumulator stays on the forward circulation.
+                bufs = [(b[1],) for b in bufs]
             bufs = schedule.apply(comm, bufs, t, phase=phase, tag="q+grads")
+            if flow is not None:
+                flow.poststep(t)
+                ro = flow.delivered(t + 1)
 
     # Final hop: dQ accumulators return to their owners.
+    if flow is not None:
+        bufs = [b if len(b) == 1 else (b[1],) for b in bufs]
     bufs = comm.exchange(
         bufs, schedule.return_permutation(), phase=phase, tag="q+grads-return"
     )
-    dqs = [bufs[r][1] for r in range(g)]
+    dqs = [bufs[r][1] if flow is None else bufs[r][0] for r in range(g)]
     return dqs, dks, dvs

@@ -34,7 +34,8 @@ from repro.attention.ring import (
     _resolve_tiles,
     ring_attention_forward,
 )
-from repro.comm import RingSchedule, SimCommunicator
+from repro.comm import BidirectionalFlow, RingSchedule, SimCommunicator
+from repro.comm.ring import check_ring_mode
 from repro.kernels import (
     BiasTileCache,
     KernelWorkspace,
@@ -157,10 +158,14 @@ def gqa_ring_backward_kv(
     *,
     phase: str = "attn-bwd",
     block_size: int = 128,
+    ring_mode: str = "unidirectional",
 ) -> tuple[list[np.ndarray], list[np.ndarray], list[np.ndarray]]:
     """Algorithm 1 with GQA: the circulating ``(K, V, dK, dV)`` bundle
     stays KV-head sized (the whole point); expansion to query heads
-    happens only inside the local kernel."""
+    happens only inside the local kernel.  ``ring_mode="bidirectional"``
+    splits KV delivery across counter-rotating streams exactly as in
+    :func:`repro.attention.ring.ring_attention_backward_kv`."""
+    check_ring_mode(ring_mode)
     g = comm.world_size
     if scale is None:
         scale = 1.0 / np.sqrt(qs[0].shape[-1])
@@ -174,10 +179,20 @@ def gqa_ring_backward_kv(
         (ks[r].copy(), vs[r].copy(), np.zeros_like(ks[r]), np.zeros_like(vs[r]))
         for r in range(g)
     ]
+    flow = (
+        BidirectionalFlow(
+            comm, schedule, [(bufs[r][0], bufs[r][1]) for r in range(g)],
+            phase=phase, tag="gqa-kv+grads",
+        )
+        if ring_mode == "bidirectional"
+        else None
+    )
+    ro: list[object] | None = None
     for t in range(steps):
         for r in range(g):
             j = origins[t][r]
-            k_j, v_j, dk_j, dv_j = bufs[r]
+            k_j, v_j = ro[r] if ro is not None else bufs[r][:2]
+            dk_j, dv_j = bufs[r][-2], bufs[r][-1]
             skip, plan, tile, bias = _resolve_tiles(
                 mask, idxs[r], idxs[j], block_size, bias_cache
             )
@@ -190,18 +205,26 @@ def gqa_ring_backward_kv(
                 bias=bias, plan=plan, workspace=workspace,
             )
             dqs[r] += dq_part
-            bufs[r] = (
-                k_j, v_j,
-                dk_j + fold_kv_grad(dk_part, groups),
-                dv_j + fold_kv_grad(dv_part, groups),
-            )
+            dk_j = dk_j + fold_kv_grad(dk_part, groups)
+            dv_j = dv_j + fold_kv_grad(dv_part, groups)
+            if len(bufs[r]) == 4:
+                bufs[r] = (k_j, v_j, dk_j, dv_j)
+            else:
+                bufs[r] = (dk_j, dv_j)
         if t < steps - 1:
+            if flow is not None and t == flow.forward_transitions:
+                bufs = [b[-2:] for b in bufs]
             bufs = schedule.apply(comm, bufs, t, phase=phase, tag="gqa-kv+grads")
+            if flow is not None:
+                flow.poststep(t)
+                ro = flow.delivered(t + 1)
+    if flow is not None:
+        bufs = [b[-2:] for b in bufs]
     bufs = comm.exchange(
         bufs, schedule.return_permutation(), phase=phase, tag="gqa-kv-return"
     )
-    dks = [bufs[r][2] for r in range(g)]
-    dvs = [bufs[r][3] for r in range(g)]
+    dks = [bufs[r][-2] for r in range(g)]
+    dvs = [bufs[r][-1] for r in range(g)]
     return dqs, dks, dvs
 
 
@@ -218,6 +241,7 @@ def gqa_ring_forward(
     *,
     phase: str = "attn-fwd",
     block_size: int = 128,
+    ring_mode: str = "unidirectional",
 ) -> tuple[list[np.ndarray], list[np.ndarray]]:
     """Ring forward circulating KV-head-sized buffers.
 
@@ -226,6 +250,7 @@ def gqa_ring_forward(
     """
     from repro.kernels.softmax import NEG_INF, merge_states
 
+    check_ring_mode(ring_mode)
     g = comm.world_size
     if scale is None:
         scale = 1.0 / np.sqrt(qs[0].shape[-1])
@@ -239,10 +264,16 @@ def gqa_ring_forward(
     bias_cache = BiasTileCache()
     workspace = KernelWorkspace()
     bufs: list[object] = [(ks[r].copy(), vs[r].copy()) for r in range(g)]
+    flow = (
+        BidirectionalFlow(comm, schedule, bufs, phase=phase, tag="gqa-kv")
+        if ring_mode == "bidirectional"
+        else None
+    )
+    cur = bufs
     for t in range(steps):
         for r in range(g):
             j = origins[t][r]
-            k_j, v_j = bufs[r]
+            k_j, v_j = cur[r]
             skip, plan, tile, bias = _resolve_tiles(
                 mask, idxs[r], idxs[j], block_size, bias_cache
             )
@@ -255,7 +286,15 @@ def gqa_ring_forward(
             )
             os[r], lses[r] = merge_states(os[r], lses[r], o_part, lse_part)
         if t < steps - 1:
-            bufs = schedule.apply(comm, bufs, t, phase=phase, tag="gqa-kv")
+            if flow is None:
+                bufs = schedule.apply(comm, bufs, t, phase=phase, tag="gqa-kv")
+                cur = bufs
+            else:
+                if t < flow.forward_transitions:
+                    bufs = schedule.apply(comm, bufs, t, phase=phase, tag="gqa-kv")
+                flow.poststep(t)
+                delivered = flow.delivered(t + 1)
+                cur = delivered if delivered is not None else bufs
     return os, lses
 
 
@@ -269,6 +308,7 @@ def gqa_burst_backward(
     *,
     phase: str = "attn-bwd",
     block_size: int = 128,
+    ring_mode: str = "unidirectional",
 ):
     """Algorithm 2 under GQA: the circulating bundle is query-sized (no
     saving from GQA); KV tensors are expanded locally on the pinned side
@@ -278,6 +318,7 @@ def gqa_burst_backward(
     dqs, dks, dvs = burst_attention_backward(
         comm, schedule, qs, expanded_k, expanded_v, os, lses, dos, idxs,
         mask=mask, scale=scale, phase=phase, block_size=block_size,
+        ring_mode=ring_mode,
     )
     dks = [fold_kv_grad(dk, groups) for dk in dks]
     dvs = [fold_kv_grad(dv, groups) for dv in dvs]

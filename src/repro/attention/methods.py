@@ -34,6 +34,7 @@ from repro.comm import (
     double_ring_schedule,
     global_ring_schedule,
 )
+from repro.comm.ring import check_ring_mode
 from repro.masks import MaskPattern
 from repro.partition import (
     ContiguousPartitioner,
@@ -140,9 +141,15 @@ class _RingContext:
 
 
 class _RingFamilyMethod(DistributedAttention):
-    """Common scaffolding for flat-ring / double-ring methods."""
+    """Common scaffolding for flat-ring / double-ring methods.
+
+    All ring-family methods accept ``ring_mode``: ``"unidirectional"``
+    (default) or ``"bidirectional"`` (counter-rotating delivery streams,
+    bitwise-identical results — see :mod:`repro.comm.ring`).
+    """
 
     backward_algorithm: str = "alg1"
+    ring_mode: str = "unidirectional"
     #: Ring-family backward needs only (q, k, v, o, lse) shards, so a
     #: backward context can be rebuilt from full arrays — this is what lets
     #: checkpoint policies skip the distributed forward on recomputation.
@@ -186,7 +193,7 @@ class _RingFamilyMethod(DistributedAttention):
         if groups == 1:
             os, lses = ring_attention_forward(
                 comm, schedule, qs, ks, vs, idxs, mask=mask, scale=scale,
-                block_size=self.block_size,
+                block_size=self.block_size, ring_mode=self.ring_mode,
             )
         else:
             from repro.attention.gqa import gqa_ring_forward
@@ -194,6 +201,7 @@ class _RingFamilyMethod(DistributedAttention):
             os, lses = gqa_ring_forward(
                 comm, schedule, qs, ks, vs, idxs, groups, mask=mask,
                 scale=scale, block_size=self.block_size,
+                ring_mode=self.ring_mode,
             )
         ctx = _RingContext(schedule, list(qs), list(ks), list(vs), os, lses,
                            list(idxs), mask, scale, groups)
@@ -212,7 +220,7 @@ class _RingFamilyMethod(DistributedAttention):
             return fn(
                 comm, ctx.schedule, ctx.qs, ctx.ks, ctx.vs, ctx.os, ctx.lses,
                 dos, ctx.idxs, groups, mask=ctx.mask, scale=ctx.scale,
-                block_size=self.block_size,
+                block_size=self.block_size, ring_mode=self.ring_mode,
             )
         backward = (
             burst_attention_backward
@@ -222,7 +230,7 @@ class _RingFamilyMethod(DistributedAttention):
         return backward(
             comm, ctx.schedule, ctx.qs, ctx.ks, ctx.vs, ctx.os, ctx.lses,
             dos, ctx.idxs, mask=ctx.mask, scale=ctx.scale,
-            block_size=self.block_size,
+            block_size=self.block_size, ring_mode=self.ring_mode,
         )
 
 
@@ -231,8 +239,15 @@ class RingAttentionMethod(_RingFamilyMethod):
 
     name = "megatron-cp"
 
-    def __init__(self, partitioner: Partitioner | None = None, block_size: int = 128):
+    def __init__(
+        self,
+        partitioner: Partitioner | None = None,
+        block_size: int = 128,
+        ring_mode: str = "unidirectional",
+    ):
         super().__init__(partitioner or ZigzagPartitioner(), block_size)
+        check_ring_mode(ring_mode)
+        self.ring_mode = ring_mode
 
     def _schedule(self, topology):
         return global_ring_schedule(topology)
@@ -243,8 +258,15 @@ class DoubleRingMethod(_RingFamilyMethod):
 
     name = "loongtrain-double"
 
-    def __init__(self, partitioner: Partitioner | None = None, block_size: int = 128):
+    def __init__(
+        self,
+        partitioner: Partitioner | None = None,
+        block_size: int = 128,
+        ring_mode: str = "unidirectional",
+    ):
         super().__init__(partitioner or ZigzagPartitioner(), block_size)
+        check_ring_mode(ring_mode)
+        self.ring_mode = ring_mode
 
     def _schedule(self, topology):
         return double_ring_schedule(topology)
@@ -266,8 +288,11 @@ class BurstAttentionMethod(_RingFamilyMethod):
         partitioner: Partitioner | None = None,
         block_size: int = 128,
         adaptive_backward: bool = False,
+        ring_mode: str = "unidirectional",
     ):
         super().__init__(partitioner or StripedPartitioner(), block_size)
+        check_ring_mode(ring_mode)
+        self.ring_mode = ring_mode
         if adaptive_backward:
             # GQA extension: pick Alg. 1 when grouped KV heads make the
             # circulating KV bundle cheaper than the query-sized one.

@@ -27,7 +27,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.comm import RingSchedule, SimCommunicator
+from repro.comm import BidirectionalFlow, RingSchedule, SimCommunicator
+from repro.comm.ring import check_ring_mode
 from repro.kernels import (
     BiasTileCache,
     KernelWorkspace,
@@ -122,6 +123,7 @@ def ring_attention_forward(
     *,
     phase: str = "attn-fwd",
     block_size: int = 128,
+    ring_mode: str = "unidirectional",
 ) -> tuple[list[np.ndarray], list[np.ndarray]]:
     """Distributed attention forward pass over ``schedule``.
 
@@ -134,12 +136,18 @@ def ring_attention_forward(
         static metadata known to every rank, so they are *not* circulated.
     mask:
         Optional global mask pattern; tiles are resolved per (rank, step).
+    ring_mode:
+        ``"unidirectional"`` (default) circulates the KV bundle one way;
+        ``"bidirectional"`` splits delivery across two counter-rotating
+        streams (TokenRing) while keeping the compute and online-softmax
+        merge order — and hence the results, bitwise — unchanged.
 
     Returns
     -------
     (os, lses):
         Per-rank output shards and logsumexp statistics.
     """
+    check_ring_mode(ring_mode)
     g = comm.world_size
     if schedule.num_steps != g and schedule.name != "grouped-ring":
         raise ValueError(
@@ -161,10 +169,16 @@ def ring_attention_forward(
     bias_cache = BiasTileCache()
     workspace = KernelWorkspace()
     bufs: list[object] = [(ks[r].copy(), vs[r].copy()) for r in range(g)]
+    flow = (
+        BidirectionalFlow(comm, schedule, bufs, phase=phase, tag="kv")
+        if ring_mode == "bidirectional"
+        else None
+    )
+    cur = bufs
     for t in range(steps):
         for r in range(g):
             j = origins[t][r]
-            k_j, v_j = bufs[r]
+            k_j, v_j = cur[r]
             skip, plan, tile, bias = _resolve_tiles(
                 mask, idxs[r], idxs[j], block_size, bias_cache
             )
@@ -177,7 +191,17 @@ def ring_attention_forward(
             )
             os[r], lses[r] = merge_states(os[r], lses[r], o_part, lse_part)
         if t < steps - 1:
-            bufs = schedule.apply(comm, bufs, t, phase=phase, tag="kv")
+            if flow is None:
+                bufs = schedule.apply(comm, bufs, t, phase=phase, tag="kv")
+                cur = bufs
+            else:
+                # Forward stream only runs its half of the circulation;
+                # later steps are fed by the counter-rotating stream.
+                if t < flow.forward_transitions:
+                    bufs = schedule.apply(comm, bufs, t, phase=phase, tag="kv")
+                flow.poststep(t)
+                delivered = flow.delivered(t + 1)
+                cur = delivered if delivered is not None else bufs
     return os, lses
 
 
@@ -197,6 +221,7 @@ def ring_attention_backward_kv(
     *,
     phase: str = "attn-bwd",
     block_size: int = 128,
+    ring_mode: str = "unidirectional",
 ) -> tuple[list[np.ndarray], list[np.ndarray], list[np.ndarray]]:
     """Algorithm 1: backward pass circulating ``(K, V, dK, dV)``.
 
@@ -205,8 +230,16 @@ def ring_attention_backward_kv(
     per-rank send volume is exactly ``4Nd`` elements — the baseline cost
     BurstAttention's Algorithm 2 improves on.
 
+    Under ``ring_mode="bidirectional"`` the read-only ``(K, V)`` halves of
+    the bundle are delivered over two counter-rotating streams while the
+    ``(dK, dV)`` accumulators keep riding the full forward circulation
+    (their addition order cannot change without changing the bits); once
+    the reverse stream takes over KV delivery, the forward bundle and the
+    return hop shrink to the accumulators alone.
+
     Returns per-rank ``(dqs, dks, dvs)``.
     """
+    check_ring_mode(ring_mode)
     g = comm.world_size
     if scale is None:
         scale = 1.0 / np.sqrt(qs[0].shape[-1])
@@ -220,11 +253,21 @@ def ring_attention_backward_kv(
         (ks[r].copy(), vs[r].copy(), np.zeros_like(ks[r]), np.zeros_like(vs[r]))
         for r in range(g)
     ]
+    flow = (
+        BidirectionalFlow(
+            comm, schedule, [(bufs[r][0], bufs[r][1]) for r in range(g)],
+            phase=phase, tag="kv+grads",
+        )
+        if ring_mode == "bidirectional"
+        else None
+    )
+    ro: list[object] | None = None
 
     for t in range(steps):
         for r in range(g):
             j = origins[t][r]
-            k_j, v_j, dk_j, dv_j = bufs[r]
+            k_j, v_j = ro[r] if ro is not None else bufs[r][:2]
+            dk_j, dv_j = bufs[r][-2], bufs[r][-1]
             skip, plan, tile, bias = _resolve_tiles(
                 mask, idxs[r], idxs[j], block_size, bias_cache
             )
@@ -240,14 +283,26 @@ def ring_attention_backward_kv(
                 bias=bias, plan=plan, workspace=workspace,
             )
             dqs[r] += dq_part
-            bufs[r] = (k_j, v_j, dk_j + dk_part, dv_j + dv_part)
+            if len(bufs[r]) == 4:
+                bufs[r] = (k_j, v_j, dk_j + dk_part, dv_j + dv_part)
+            else:
+                bufs[r] = (dk_j + dk_part, dv_j + dv_part)
         if t < steps - 1:
+            if flow is not None and t == flow.forward_transitions:
+                # KV delivery is now the reverse stream's job; only the
+                # gradient accumulators stay on the forward circulation.
+                bufs = [b[-2:] for b in bufs]
             bufs = schedule.apply(comm, bufs, t, phase=phase, tag="kv+grads")
+            if flow is not None:
+                flow.poststep(t)
+                ro = flow.delivered(t + 1)
 
     # Final hop: send each circulating bundle home to its owner.
+    if flow is not None:
+        bufs = [b[-2:] for b in bufs]
     bufs = comm.exchange(
         bufs, schedule.return_permutation(), phase=phase, tag="kv+grads-return"
     )
-    dks = [bufs[r][2] for r in range(g)]
-    dvs = [bufs[r][3] for r in range(g)]
+    dks = [bufs[r][-2] for r in range(g)]
+    dvs = [bufs[r][-1] for r in range(g)]
     return dqs, dks, dvs

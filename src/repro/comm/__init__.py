@@ -18,7 +18,11 @@ single-process SPMD simulation.
 from repro.comm.traffic import TrafficLog, TransferRecord
 from repro.comm.communicator import SimCommunicator
 from repro.comm.ring import (
+    RING_MODES,
+    BidirectionalFlow,
     RingSchedule,
+    bidirectional_split,
+    check_ring_mode,
     global_ring_schedule,
     double_ring_schedule,
     grouped_ring_schedule,
@@ -29,6 +33,10 @@ __all__ = [
     "TransferRecord",
     "SimCommunicator",
     "RingSchedule",
+    "RING_MODES",
+    "BidirectionalFlow",
+    "bidirectional_split",
+    "check_ring_mode",
     "global_ring_schedule",
     "double_ring_schedule",
     "grouped_ring_schedule",

@@ -81,7 +81,15 @@ class SimCommunicator:
                 f"expected one buffer per rank ({self.world_size}), got {len(bufs)}"
             )
 
-    def _record(self, src: int, dst: int, tree: object, phase: str, tag: str) -> None:
+    def _record(
+        self,
+        src: int,
+        dst: int,
+        tree: object,
+        phase: str,
+        tag: str,
+        channel: str = "fwd",
+    ) -> None:
         leaves, _ = tree_flatten(tree)
         nbytes = sum(leaf.nbytes for leaf in leaves)
         nelems = sum(leaf.size for leaf in leaves)
@@ -94,6 +102,7 @@ class SimCommunicator:
                 link=self.topology.link_class(src, dst),
                 phase=phase,
                 tag=tag,
+                channel=channel,
             )
         )
 
@@ -129,10 +138,12 @@ class SimCommunicator:
         *,
         phase: str,
         tag: str = "",
+        channel: str = "fwd",
     ) -> list[object]:
         """Generic permutation send: rank ``r`` sends its buffer to
         ``dest_of[r]``.  ``dest_of`` must be a permutation of the ranks.
-        Returns the received buffer per rank (deep-copied).
+        Returns the received buffer per rank (deep-copied).  ``channel``
+        attributes the transfers to a ring direction in the traffic log.
         """
         self._check_bufs(bufs)
         if sorted(dest_of) != list(range(self.world_size)):
@@ -140,7 +151,7 @@ class SimCommunicator:
         received: list[object] = [None] * self.world_size
         for src, dst in enumerate(dest_of):
             if src != dst:
-                self._record(src, dst, bufs[src], phase, tag)
+                self._record(src, dst, bufs[src], phase, tag, channel=channel)
             received[dst] = tree_map(np.copy, bufs[src])
         return received
 
@@ -154,21 +165,29 @@ class SimCommunicator:
         *,
         phase: str,
         tag: str = "",
+        reverse: bool = False,
     ) -> list[object]:
         """One ring step along ``ring``: each listed rank sends its buffer to
         its successor in the ring and receives from its predecessor.  Ranks
         not in ``ring`` keep their buffers untouched (identity, no copy).
+
+        With ``reverse=True`` the data flows the other way — each rank sends
+        to its *predecessor* — exactly inverting the forward step.  Reverse
+        transfers are attributed to the ``"rev"`` channel in the traffic
+        log, modelling the second direction of a full-duplex P2P link.
         """
         self._check_bufs(bufs)
         k = len(ring)
         if k != len(set(ring)):
             raise ValueError("ring contains duplicate ranks")
+        step = -1 if reverse else 1
+        channel = "rev" if reverse else "fwd"
         out: list[object] = list(bufs)
         for pos in range(k):
             src = ring[pos]
-            dst = ring[(pos + 1) % k]
+            dst = ring[(pos + step) % k]
             if src != dst:
-                self._record(src, dst, bufs[src], phase, tag)
+                self._record(src, dst, bufs[src], phase, tag, channel=channel)
             out[dst] = tree_map(np.copy, bufs[src])
         return out
 

@@ -152,6 +152,94 @@ class RingSchedule:
         final = self.origins()[-1]
         return list(final)
 
+    # --- bidirectional (counter-rotating) transport ---------------------------
+
+    def reverse_seed_permutation(self) -> list[int]:
+        """Destination map of the first reverse move: the inverse of
+        :meth:`return_permutation`, jumping each rank's buffer straight to
+        the placement of the *last* compute step (``origins[-1]``).
+
+        For the flat global ring this is a single hop against the ring
+        direction; for the double ring it is in general a mixed
+        inner+outer diagonal, which is why it is realised as a generic
+        ``exchange`` rather than a ring shift.
+        """
+        perm = self.return_permutation()
+        inv = [0] * len(perm)
+        for dst, src in enumerate(perm):
+            inv[src] = dst
+        return inv
+
+    def reverse_link_class(self, s: int) -> LinkClass:
+        """Slowest link class used by reverse move ``s`` (1-based).
+
+        Move 1 is the seed permutation; move ``s >= 2`` retraces base
+        transition ``num_steps - s`` against its ring direction (same
+        links, opposite flow), so it inherits that transition's class.
+        """
+        if not 1 <= s <= self.num_steps - 1:
+            raise ValueError(f"reverse move {s} out of range 1..{self.num_steps - 1}")
+        if s > 1:
+            return self.transition_link_class(self.num_steps - s)
+        worst = LinkClass.LOCAL
+        for dst, src in enumerate(self.return_permutation()):
+            if src == dst:
+                continue
+            cls = self.topology.link_class(src, dst)
+            if cls is LinkClass.INTER:
+                return LinkClass.INTER
+            if cls is LinkClass.INTRA:
+                worst = LinkClass.INTRA
+        return worst
+
+    def apply_reverse(
+        self,
+        comm: SimCommunicator,
+        bufs: Sequence[object],
+        s: int,
+        *,
+        phase: str,
+        tag: str = "",
+    ) -> list[object]:
+        """Perform reverse move ``s`` (1-based) of the counter-rotating
+        stream: after move ``s`` the buffers sit at ``origins[S - s]``
+        (``S = num_steps``), i.e. the stream walks the visit order of the
+        forward circulation backwards.  Move 1 applies
+        :meth:`reverse_seed_permutation`; move ``s >= 2`` undoes base
+        transition ``S - s`` by shifting its rings in reverse.
+        """
+        if not 1 <= s <= self.num_steps - 1:
+            raise ValueError(f"reverse move {s} out of range 1..{self.num_steps - 1}")
+        if not tracing_enabled():
+            return self._apply_reverse_raw(comm, bufs, s, phase, tag)
+        link = self.reverse_link_class(s)
+        row = "inter-ring" if link is LinkClass.INTER else "intra-ring"
+        rings = 1 if s == 1 else len(self.transitions[self.num_steps - s])
+        with trace_span("ring.transition", phase=row, schedule=self.name,
+                        step=self.num_steps - s, logical=phase, rings=rings,
+                        direction="rev"):
+            return self._apply_reverse_raw(comm, bufs, s, phase, tag)
+
+    def _apply_reverse_raw(
+        self,
+        comm: SimCommunicator,
+        bufs: Sequence[object],
+        s: int,
+        phase: str,
+        tag: str,
+    ) -> list[object]:
+        if s == 1:
+            return comm.exchange(
+                bufs, self.reverse_seed_permutation(), phase=phase,
+                tag=tag or self.name, channel="rev",
+            )
+        out = list(bufs)
+        for ring in self.transitions[self.num_steps - s]:
+            out = comm.ring_shift(
+                out, list(ring), phase=phase, tag=tag or self.name, reverse=True
+            )
+        return out
+
 
 def global_ring_schedule(topology: ClusterTopology) -> RingSchedule:
     """The flat ring used by RingAttention: one global shift per transition."""
@@ -230,3 +318,87 @@ def double_ring_schedule(
     )
     schedule.validate()
     return schedule
+
+
+# --- bidirectional transport ---------------------------------------------------
+
+#: Valid values of the ``ring_mode`` switch on ring-family methods.
+RING_MODES = ("unidirectional", "bidirectional")
+
+
+def check_ring_mode(ring_mode: str) -> str:
+    if ring_mode not in RING_MODES:
+        raise ValueError(
+            f"unknown ring_mode {ring_mode!r}; options: {RING_MODES}"
+        )
+    return ring_mode
+
+
+def bidirectional_split(num_steps: int) -> tuple[int, int]:
+    """``(forward, reverse)`` transition counts of the bidirectional split.
+
+    Of the ``S - 1`` placements a circulating read-only buffer must visit
+    beyond its home, the forward stream serves the first
+    ``ceil((S - 1) / 2)`` compute steps and the counter-rotating stream the
+    remaining ``floor((S - 1) / 2)``, meeting in the middle (TokenRing's
+    halving of the serial hop chain).
+    """
+    return num_steps // 2, (num_steps - 1) // 2
+
+
+class BidirectionalFlow:
+    """Counter-rotating delivery of a schedule's *read-only* bundles.
+
+    The forward circulation (and with it the compute order, the online-
+    softmax merge order, and any gradient accumulation) is untouched — the
+    caller keeps driving :meth:`RingSchedule.apply` for whatever must ride
+    forward.  This helper runs the second direction: it seeds a copy of the
+    read-only bundles, walks them backwards through the visit order via
+    :meth:`RingSchedule.apply_reverse`, and stashes each delivery until the
+    compute step that consumes it.  Reverse move ``s`` lands at boundary
+    ``s - 1``, strictly before its consuming step ``S - s``, so every
+    delivery is on time.
+
+    Usage, per pass::
+
+        flow = BidirectionalFlow(comm, schedule, ro_bufs, phase=..., tag=...)
+        for t in 1..S-1:
+            # caller shifts forward-stream bundles for boundary t-1 itself
+            flow.poststep(t - 1)
+            ro = flow.delivered(t)   # None -> read from the forward stream
+    """
+
+    def __init__(
+        self,
+        comm: SimCommunicator,
+        schedule: RingSchedule,
+        bufs: Sequence[object],
+        *,
+        phase: str,
+        tag: str = "",
+    ):
+        self.comm = comm
+        self.schedule = schedule
+        self.phase = phase
+        self.tag = tag
+        self.forward_transitions, self.reverse_transitions = bidirectional_split(
+            schedule.num_steps
+        )
+        self._rev = list(bufs)
+        self._stash: dict[int, list[object]] = {}
+
+    def poststep(self, t: int) -> None:
+        """Advance the reverse stream at boundary ``t`` (after compute
+        step ``t``); a no-op once all reverse moves have run."""
+        s = t + 1
+        if s <= self.reverse_transitions:
+            self._rev = self.schedule.apply_reverse(
+                self.comm, self._rev, s, phase=self.phase, tag=self.tag
+            )
+            self._stash[self.schedule.num_steps - s] = self._rev
+
+    def delivered(self, t: int) -> list[object] | None:
+        """Read-only bundles for compute step ``t`` if the reverse stream
+        serves it (``t > forward_transitions``), else ``None`` — the caller
+        reads them off the forward stream."""
+        return self._stash.get(t)

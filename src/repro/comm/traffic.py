@@ -21,7 +21,10 @@ class TransferRecord:
     ``nbytes`` counts payload bytes; ``nelems`` counts array elements so that
     volume formulas stated in elements (as in the paper) can be checked
     without caring about dtype width.  ``phase`` is a free-form label such as
-    ``"attn-fwd"`` or ``"attn-bwd"`` used to slice the log.
+    ``"attn-fwd"`` or ``"attn-bwd"`` used to slice the log.  ``channel``
+    distinguishes the two directions of a bidirectional ring: ``"fwd"``
+    (the default, also used by every non-ring collective) or ``"rev"``
+    for transfers riding the counter-rotating stream.
     """
 
     src: int
@@ -31,6 +34,7 @@ class TransferRecord:
     link: LinkClass
     phase: str
     tag: str = ""
+    channel: str = "fwd"
 
 
 @dataclass
@@ -53,6 +57,7 @@ class TrafficLog:
         link: LinkClass | None = None,
         rank: int | None = None,
         direction: str = "send",
+        channel: str | None = None,
     ) -> list[TransferRecord]:
         if direction not in ("send", "recv"):
             raise ValueError(f"direction must be 'send' or 'recv', got {direction!r}")
@@ -61,6 +66,8 @@ class TrafficLog:
             if phase is not None and r.phase != phase:
                 continue
             if link is not None and r.link != link:
+                continue
+            if channel is not None and r.channel != channel:
                 continue
             if rank is not None:
                 endpoint = r.src if direction == "send" else r.dst
@@ -78,11 +85,27 @@ class TrafficLog:
     def num_transfers(self, **kw) -> int:
         return len(self._filtered(**kw))
 
-    def per_rank_send_elems(self, phase: str | None = None) -> dict[int, int]:
+    def per_rank_send_elems(
+        self, phase: str | None = None, channel: str | None = None
+    ) -> dict[int, int]:
         """Elements sent by each rank (the paper's per-GPU volume metric)."""
         acc: dict[int, int] = defaultdict(int)
-        for r in self._filtered(phase=phase):
+        for r in self._filtered(phase=phase, channel=channel):
             acc[r.src] += r.nelems
+        return dict(acc)
+
+    def per_channel_elems(self, phase: str | None = None) -> dict[str, int]:
+        """Total elements moved on each ring direction ("fwd" / "rev")."""
+        acc: dict[str, int] = defaultdict(int)
+        for r in self._filtered(phase=phase):
+            acc[r.channel] += r.nelems
+        return dict(acc)
+
+    def per_channel_bytes(self, phase: str | None = None) -> dict[str, int]:
+        """Total bytes moved on each ring direction ("fwd" / "rev")."""
+        acc: dict[str, int] = defaultdict(int)
+        for r in self._filtered(phase=phase):
+            acc[r.channel] += r.nbytes
         return dict(acc)
 
     def per_link_bytes(self, phase: str | None = None) -> dict[LinkClass, int]:

@@ -44,12 +44,18 @@ def _cmd_trace_step(args: argparse.Namespace) -> int:
     topology = make_cluster(
         args.gpus, node=a800_node(gpus_per_node=args.gpus_per_node)
     )
+    method_kwargs = (
+        {"ring_mode": args.ring_mode}
+        if args.ring_mode != "unidirectional"
+        else {}
+    )
     config = EngineConfig(
         model=TransformerConfig(
             vocab_size=128, dim=32, n_layers=2, n_heads=4, ffn_hidden=64,
             max_seq_len=args.seq, attn_block_size=32,
         ),
         method=args.method,
+        method_kwargs=method_kwargs,
         checkpoint=CheckpointPolicy(CheckpointMode.SEQUENCE_LEVEL, 0.5),
         head_impl="fused",
     )
@@ -69,6 +75,7 @@ def _cmd_trace_step(args: argparse.Namespace) -> int:
             "gpus_per_node": topology.gpus_per_node,
             "seq_len": args.seq,
             "steps": args.steps,
+            "ring_mode": args.ring_mode,
         },
     )
     validate_chrome_trace(payload)
@@ -78,7 +85,10 @@ def _cmd_trace_step(args: argparse.Namespace) -> int:
         workload = AttentionWorkload(
             seq_len=args.seq, hidden=32, n_heads=4
         )
-        build_predicted_trace(args.method, topology, workload, predicted_path)
+        build_predicted_trace(
+            args.method, topology, workload, predicted_path,
+            ring_mode=args.ring_mode,
+        )
         print(f"wrote {predicted_path} (DES-predicted schedule)")
     except ValueError as exc:
         print(f"skipped predicted trace: {exc}")
@@ -138,6 +148,11 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--seq", type=int, default=128)
     p.add_argument("--gpus", type=int, default=8)
     p.add_argument("--gpus-per-node", type=int, default=4)
+    p.add_argument(
+        "--ring-mode", default="unidirectional",
+        choices=("unidirectional", "bidirectional"),
+        help="ring circulation mode for the traced method and prediction",
+    )
     p.set_defaults(fn=_cmd_trace_step)
 
     p = sub.add_parser("report", help="summarize an observed trace")

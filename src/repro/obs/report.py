@@ -124,6 +124,34 @@ def observed_ring_counts(payload: dict | str) -> dict[str, dict[str, int]]:
     return counts
 
 
+def observed_ring_counts_by_direction(
+    payload: dict | str,
+) -> dict[str, dict[str, dict[str, int]]]:
+    """Count ``ring.transition`` spans per logical phase, stream direction,
+    and link kind.
+
+    Returns ``{logical: {"fwd": {"intra": n, "inter": n}, "rev": {...}}}``.
+    Spans emitted by :meth:`RingSchedule.apply_reverse` carry
+    ``direction="rev"``; everything else is the forward stream (which is
+    all of a unidirectional trace).
+    """
+    counts: dict[str, dict[str, dict[str, int]]] = {}
+    for e in _x_events(payload):
+        if e.get("name") != "ring.transition":
+            continue
+        args = e.get("args", {})
+        logical = args.get("logical", "?")
+        direction = args.get("direction", "fwd")
+        row = args.get("phase", "")
+        kind = "inter" if row == _RING_ROWS["inter"] else "intra"
+        d = counts.setdefault(logical, {
+            "fwd": {"intra": 0, "inter": 0},
+            "rev": {"intra": 0, "inter": 0},
+        })
+        d[direction][kind] += 1
+    return counts
+
+
 # --------------------------------------------------------------------------
 # predicted schedule structure
 # --------------------------------------------------------------------------
@@ -159,6 +187,56 @@ def predicted_pass_counts(method_name: str, topology) -> dict[str, int]:
     return schedule_pass_counts(sched_fn(topology))
 
 
+def predicted_bidirectional_pass_counts(
+    method_name: str, topology
+) -> dict[str, dict[str, dict[str, int]]]:
+    """Per-pass transition counts of the bidirectional ring, split by
+    logical phase and stream direction.
+
+    The forward pass applies only the first ``T_f = S // 2`` base
+    transitions on the forward stream; the backward passes apply all
+    ``S - 1`` (the gradient accumulators keep circulating).  The reverse
+    stream always runs ``R = (S - 1) // 2`` moves: a seeding exchange
+    (priced at :meth:`RingSchedule.reverse_link_class`) followed by
+    retraced tail transitions.
+    """
+    from repro.attention import get_method
+    from repro.comm.ring import bidirectional_split
+    from repro.topology import LinkClass
+
+    zero = {"intra": 0, "inter": 0}
+    method = get_method(method_name)
+    sched_fn = getattr(method, "_schedule", None)
+    if sched_fn is None:
+        return {
+            ph: {"fwd": dict(zero), "rev": dict(zero)} for ph in RING_PHASES
+        }
+    sched = sched_fn(topology)
+    t_f, rev = bidirectional_split(sched.num_steps)
+
+    def _count(classes) -> dict[str, int]:
+        c = dict(zero)
+        for cls in classes:
+            if cls is LinkClass.INTER:
+                c["inter"] += 1
+            elif cls is LinkClass.INTRA:
+                c["intra"] += 1
+        return c
+
+    fwd_classes = [
+        sched.transition_link_class(t) for t in range(len(sched.transitions))
+    ]
+    rev_classes = [sched.reverse_link_class(s) for s in range(1, rev + 1)]
+    return {
+        "attn-fwd": {
+            "fwd": _count(fwd_classes[:t_f]), "rev": _count(rev_classes),
+        },
+        "attn-bwd": {
+            "fwd": _count(fwd_classes), "rev": _count(rev_classes),
+        },
+    }
+
+
 #: DES pass-construction flags per ring-family method (mirrors
 #: :func:`repro.perf.schedules.attention.attention_pass_time`).
 _METHOD_DES_FLAGS = {
@@ -175,6 +253,7 @@ def build_predicted_trace(
     path: str | None = None,
     *,
     ring_window: int | None = None,
+    ring_mode: str = "unidirectional",
 ) -> dict:
     """DES-predicted Chrome trace for one fwd + one bwd attention pass.
 
@@ -182,14 +261,20 @@ def build_predicted_trace(
     ``pid`` 1 (the DES exporter's process), backward offset to start at
     the forward makespan, and embeds ``metadata.per_pass`` — the
     schedule's intra/inter transition counts — for :func:`diff_traces`.
-    Only the ring-family methods have a DES pass graph here.
+    Under ``ring_mode="bidirectional"`` the reverse stream gets its own
+    ``intra-rev`` / ``inter-rev`` rows and the metadata additionally
+    carries ``per_pass_by_phase`` — the per-direction counts the
+    bidirectional diff gate checks.  Only the ring-family methods have a
+    DES pass graph here.
     """
-    from repro.perf.cost import matmul_time
+    from repro.perf.cost import bidirectional_step_split, matmul_time
     from repro.perf.des import Simulator
     from repro.perf.schedules.attention import (
         ATTENTION_EFFICIENCY,
         BACKWARD_FLOPS_FACTOR,
+        _bidirectional_ring,
         _pipelined_ring,
+        _rev_transition_list,
         _transition_durations,
     )
 
@@ -203,6 +288,8 @@ def build_predicted_trace(
     peak = topology.node.gpu.peak_flops
     shard = workload.shard_bytes(g)
     kv_shard = workload.kv_shard_bytes(g)
+    bidirectional = ring_mode == "bidirectional"
+    t_f, rev_moves = bidirectional_step_split(g)
 
     def _pass(prefix: str, backward: bool) -> Simulator:
         flops = workload.fwd_flops_per_gpu(g)
@@ -210,22 +297,42 @@ def build_predicted_trace(
             flops *= BACKWARD_FLOPS_FACTOR
         step_compute = matmul_time(flops / g, peak, ATTENTION_EFFICIENCY)
         sim = Simulator()
-        if not backward:
-            transitions = _transition_durations(
-                topology, 2 * kv_shard, flags["flat"], ring_window
-            )
-            _pipelined_ring(sim, prefix, transitions, step_compute, False)
-        elif flags["alg2"]:
-            payload = shard * (3 + 2 / workload.hidden)
-            transitions = _transition_durations(
+
+        def durations(payload: float) -> list:
+            return _transition_durations(
                 topology, payload, flags["flat"], ring_window
             )
-            _pipelined_ring(sim, prefix, transitions, step_compute, True)
+
+        if not backward:
+            kv = durations(2 * kv_shard)
+            if bidirectional:
+                _bidirectional_ring(
+                    sim, prefix, g, kv[:t_f],
+                    _rev_transition_list(kv, rev_moves), step_compute, False,
+                )
+            else:
+                _pipelined_ring(sim, prefix, kv, step_compute, False)
+        elif flags["alg2"]:
+            if bidirectional:
+                full = durations(shard * (3 + 2 / workload.hidden))
+                dq = durations(shard)
+                ro = durations(shard * (2 + 2 / workload.hidden))
+                _bidirectional_ring(
+                    sim, prefix, g, full[:t_f] + dq[t_f:],
+                    _rev_transition_list(ro, rev_moves), step_compute, True,
+                )
+            else:
+                payload = shard * (3 + 2 / workload.hidden)
+                _pipelined_ring(sim, prefix, durations(payload), step_compute, True)
         else:
-            kv = _transition_durations(
-                topology, 2 * kv_shard, flags["flat"], ring_window
-            )
-            if flags["serialize_gradients"]:
+            kv = durations(2 * kv_shard)
+            if bidirectional:
+                full = durations(4 * kv_shard)
+                _bidirectional_ring(
+                    sim, prefix, g, full[:t_f] + kv[t_f:],
+                    _rev_transition_list(kv, rev_moves), step_compute, True,
+                )
+            elif flags["serialize_gradients"]:
                 last = _pipelined_ring(sim, prefix, kv, step_compute, False)
                 # LoongTrain / Megatron drain the gradient buffers
                 # serially after compute (Table 1's +2(I·T_i + E·T_e)).
@@ -269,16 +376,19 @@ def build_predicted_trace(
         "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
         "args": {"name": "predicted (DES)"},
     })
-    payload = {
-        "traceEvents": events,
-        "metadata": {
-            "method": method,
-            "world_size": g,
-            "gpus_per_node": topology.gpus_per_node,
-            "per_pass": predicted_pass_counts(method, topology),
-            "modeled_makespan_s": offset,
-        },
+    metadata = {
+        "method": method,
+        "world_size": g,
+        "gpus_per_node": topology.gpus_per_node,
+        "ring_mode": ring_mode,
+        "per_pass": predicted_pass_counts(method, topology),
+        "modeled_makespan_s": offset,
     }
+    if bidirectional:
+        metadata["per_pass_by_phase"] = predicted_bidirectional_pass_counts(
+            method, topology
+        )
+    payload = {"traceEvents": events, "metadata": metadata}
     if path is not None:
         with open(path, "w") as fh:
             json.dump(payload, fh, indent=2)
@@ -424,6 +534,8 @@ def diff_traces(
     observed = _as_payload(observed)
     predicted = _as_payload(predicted)
     meta = predicted.get("metadata", {})
+    if meta.get("ring_mode") == "bidirectional":
+        return _diff_bidirectional(observed, meta)
     per_pass = meta.get("per_pass")
     if per_pass is None:
         raise ValueError(
@@ -481,6 +593,65 @@ def diff_traces(
             f"inter={ring_obs['inter'] / tot_o:.1%} | modeled "
             f"intra={ring_pred['intra'] / tot_p:.1%} "
             f"inter={ring_pred['inter'] / tot_p:.1%}"
+        )
+    lines.append("schedule diff: " + ("OK" if ok else "MISMATCH"))
+    return ok, lines
+
+
+def _diff_bidirectional(
+    observed: dict, meta: dict
+) -> tuple[bool, list[str]]:
+    """Diff gate for bidirectional predictions: per logical phase, the
+    observed (direction, link-kind) transition counts must be the same
+    integer multiple of the predicted per-pass cells — one multiple per
+    attention pass executed.  The split is exact (set by the schedule and
+    ``S // 2``), so no fractional tolerance applies.
+    """
+    per_pass = meta.get("per_pass_by_phase")
+    if per_pass is None:
+        raise ValueError(
+            "bidirectional predicted trace has no metadata.per_pass_by_phase; "
+            "build it with build_predicted_trace(..., ring_mode='bidirectional')"
+        )
+    counts = observed_ring_counts_by_direction(observed)
+    lines = [
+        "bidirectional per-pass transitions"
+        + (f" (method={meta.get('method')})" if meta.get("method") else "")
+        + ":"
+    ]
+    for logical in sorted(per_pass):
+        exp = per_pass[logical]
+        lines.append(
+            f"  predicted {logical}: "
+            f"fwd intra={exp['fwd']['intra']} inter={exp['fwd']['inter']}, "
+            f"rev intra={exp['rev']['intra']} inter={exp['rev']['inter']}"
+        )
+    ok = True
+    for logical in sorted(set(counts) | set(per_pass)):
+        d = counts.get(logical, {
+            "fwd": {"intra": 0, "inter": 0}, "rev": {"intra": 0, "inter": 0},
+        })
+        exp = per_pass.get(logical)
+        obs_total = sum(d[s][k] for s in d for k in d[s])
+        if exp is None:
+            good = obs_total == 0
+            ok &= good
+            lines.append(
+                f"  {logical:<10} {obs_total} transition(s)  "
+                + ("OK" if good else "MISMATCH (no predicted pass)")
+            )
+            continue
+        exp_total = sum(exp[s][k] for s in exp for k in exp[s])
+        passes = obs_total // exp_total if exp_total else 0
+        good = passes >= 1 and all(
+            d[s][k] == passes * exp[s][k] for s in exp for k in exp[s]
+        )
+        ok &= good
+        lines.append(
+            f"  {logical:<10} fwd intra={d['fwd']['intra']:<4} "
+            f"inter={d['fwd']['inter']:<3} rev intra={d['rev']['intra']:<4} "
+            f"inter={d['rev']['inter']:<3} -> {passes} pass(es)  "
+            + ("OK" if good else "MISMATCH (cells not an integer number of passes)")
         )
     lines.append("schedule diff: " + ("OK" if ok else "MISMATCH"))
     return ok, lines

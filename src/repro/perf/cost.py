@@ -107,6 +107,72 @@ def attention_step_sizes(
     }
 
 
+def bidirectional_step_split(num_steps: int) -> tuple[int, int]:
+    """``(forward_transitions, reverse_moves)`` of a bidirectional ring.
+
+    Mirrors :func:`repro.comm.ring.bidirectional_split` (kept free of a
+    ``repro.comm`` import so the analytic layer stays standalone): of the
+    ``S - 1`` boundary transitions, the forward stream serves the first
+    ``S // 2`` and the counter-rotating stream the remaining
+    ``(S - 1) // 2``.
+    """
+    return num_steps // 2, (num_steps - 1) // 2
+
+
+def bidirectional_direction_bytes(
+    seq_len: int,
+    hidden: int,
+    world_size: int,
+    num_steps: int | None = None,
+    bytes_per_elem: int = 2,
+    n_heads: int = 1,
+) -> dict[str, dict[str, float]]:
+    """Per-rank send bytes of each pass, split by ring direction.
+
+    Under ``ring_mode="bidirectional"`` the read-only bundle parts travel
+    the short way round on a counter-rotating ``rev`` stream, while any
+    gradient accumulators keep riding the full ``fwd`` circulation (their
+    addition order is what makes the results bitwise-identical).  With
+    ``S`` schedule steps, ``T_f = S // 2`` forward transitions and
+    ``R = (S - 1) // 2`` reverse moves, a shard of ``s = seq_len / G``
+    tokens and ``h = hidden``:
+
+    * ``fwd`` pass — (K, V) both ways, no return hop:
+      ``fwd = T_f * 2sh``, ``rev = R * 2sh``.
+    * ``bwd_alg1`` — (K, V) reverse; (dK, dV) ride all ``S - 1`` forward
+      transitions plus the return hop:
+      ``fwd = T_f * 4sh + (R + 1) * 2sh``, ``rev = R * 2sh``.
+    * ``bwd_alg2`` — (Q, dO, D, Lse) reverse; dQ forward + return:
+      ``fwd = T_f * (3h + 2H)s + (R + 1) * sh``, ``rev = R * (2h + 2H)s``
+      where ``H = n_heads`` scales the per-head-per-token D/Lse rows (the
+      paper's single-head statement has ``H = 1``).
+
+    The unidirectional totals (``4Nd`` / ``3Nd + 2N``) are recovered as
+    ``fwd + rev`` *plus* the read-only share of the skipped long way round
+    — bidirectional strictly reduces total bytes on every pass.
+    """
+    if num_steps is None:
+        num_steps = world_size
+    t_f, rev = bidirectional_step_split(num_steps)
+    shard = seq_len / world_size
+    b = bytes_per_elem
+    kv = 2 * shard * hidden * b
+    grads_kv = 2 * shard * hidden * b
+    q_side = (2 * hidden + 2 * n_heads) * shard * b
+    dq = shard * hidden * b
+    return {
+        "fwd": {"fwd": t_f * kv, "rev": rev * kv},
+        "bwd_alg1": {
+            "fwd": t_f * (kv + grads_kv) + (rev + 1) * grads_kv,
+            "rev": rev * kv,
+        },
+        "bwd_alg2": {
+            "fwd": t_f * (q_side + dq) + (rev + 1) * dq,
+            "rev": rev * q_side,
+        },
+    }
+
+
 def table1_comm_times(
     topology: ClusterTopology,
     seq_len: int,

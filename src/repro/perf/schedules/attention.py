@@ -130,6 +130,85 @@ def _pipelined_ring(
     return last
 
 
+def _bidirectional_ring(
+    sim: Simulator,
+    prefix: str,
+    steps: int,
+    fwd_transitions: list[tuple[str, float]],
+    rev_transitions: list[tuple[str, float]],
+    step_compute: float,
+    grad_dependent: bool,
+) -> str:
+    """Ring circulation split across two counter-rotating streams.
+
+    The forward stream keeps the ``intra`` / ``inter`` link resources; the
+    reverse stream runs concurrently on the opposite-direction channels
+    (``intra-rev`` / ``inter-rev`` — full-duplex links).  Compute step ``t``
+    is fed by forward delivery ``t - 1`` while ``t`` is in the forward
+    stream's half and by reverse move ``steps - t`` afterwards, so the
+    comm-bound critical path is ``max`` of the two chains rather than their
+    sum.  ``grad_dependent`` keeps the delayed double-buffer semantics of
+    :func:`_pipelined_ring` (transfers wait only on the warm-up round).
+    """
+    rev_serves_from = steps - len(rev_transitions)
+    compute_prev = ""
+    comm_prev: dict[str, str] = {}
+    fwd_names: list[str] = []
+    rev_names: list[str] = []
+    last = ""
+    for t in range(steps):
+        deps = []
+        if compute_prev:
+            deps.append(compute_prev)
+        if not grad_dependent and t >= 1:
+            if t < rev_serves_from:
+                if t - 1 < len(fwd_names):
+                    deps.append(fwd_names[t - 1])
+            else:
+                deps.append(rev_names[steps - t - 1])
+        cname = f"{prefix}c{t}"
+        sim.add(cname, step_compute, resources=("compute",), deps=deps)
+        compute_prev = cname
+        last = cname
+        if t < len(fwd_transitions):
+            res, dur = fwd_transitions[t]
+            deps_m = [comm_prev[res]] if res in comm_prev else []
+            if grad_dependent:
+                deps_m.append(f"{prefix}c0")
+            mname = f"{prefix}mf{t}"
+            sim.add(mname, dur, resources=(res,), deps=deps_m)
+            comm_prev[res] = mname
+            fwd_names.append(mname)
+        if t < len(rev_transitions):
+            res, dur = rev_transitions[t]
+            rres = f"{res}-rev"
+            deps_r = [comm_prev[rres]] if rres in comm_prev else []
+            rname = f"{prefix}mr{t}"
+            sim.add(rname, dur, resources=(rres,), deps=deps_r)
+            comm_prev[rres] = rname
+            rev_names.append(rname)
+    return last
+
+
+def _rev_transition_list(
+    transitions: list[tuple[str, float]], rev_moves: int
+) -> list[tuple[str, float]]:
+    """Per-move ``(resource, duration)`` of the reverse stream.
+
+    Move ``s >= 2`` retraces forward transition ``S - s`` backwards, so it
+    reuses that transition's link class; the seeding exchange (``s = 1``)
+    is priced like the return-to-owner hop it replaces (the last
+    transition's link).
+    """
+    if rev_moves == 0:
+        return []
+    num_steps = len(transitions) + 1
+    out = [transitions[-1]]
+    for s in range(2, rev_moves + 1):
+        out.append(transitions[num_steps - s])
+    return out
+
+
 def _transition_durations(
     topology: ClusterTopology, payload: float, flat: bool,
     window: int | None = None,
@@ -159,6 +238,7 @@ def _flat_or_double_pass(
     serialize_gradients: bool,
     alg2_payload: bool,
     ring_window: int | None = None,
+    ring_mode: str = "unidirectional",
 ) -> float:
     g = topology.world_size
     flops = wl.fwd_flops_per_gpu(g)
@@ -167,6 +247,13 @@ def _flat_or_double_pass(
     step_compute = matmul_time(flops / g, peak_flops, ATTENTION_EFFICIENCY)
     shard = wl.shard_bytes(g)
     kv_shard = wl.kv_shard_bytes(g)
+
+    if ring_mode == "bidirectional":
+        return _bidirectional_pass(
+            topology, step_compute, shard, kv_shard, wl.hidden,
+            flat=flat, backward=backward, alg2_payload=alg2_payload,
+            ring_window=ring_window,
+        )
 
     sim = Simulator()
     if not backward:
@@ -207,6 +294,72 @@ def _flat_or_double_pass(
     makespan = sim.run()
     if both:
         makespan += both[-1][1]
+    return makespan
+
+
+def _bidirectional_pass(
+    topology: ClusterTopology,
+    step_compute: float,
+    shard: float,
+    kv_shard: float,
+    hidden: int,
+    *,
+    flat: bool,
+    backward: bool,
+    alg2_payload: bool,
+    ring_window: int | None = None,
+) -> float:
+    """Wall-clock of one bidirectional-ring pass.
+
+    Read-only bundle parts split across the two streams (``T_f = S // 2``
+    forward transitions, ``R = (S - 1) // 2`` reverse moves); in the
+    backward passes the gradient accumulators keep riding all ``S - 1``
+    forward transitions plus a shrunken return hop, delayed-double-buffered
+    against compute.
+    """
+    from repro.perf.cost import bidirectional_step_split
+
+    g = topology.world_size
+    num_steps = g
+    t_f, rev = bidirectional_step_split(num_steps)
+
+    def durations(payload: float) -> list[tuple[str, float]]:
+        return _transition_durations(topology, payload, flat, ring_window)
+
+    sim = Simulator()
+    if not backward:
+        kv = durations(2 * kv_shard)
+        _bidirectional_ring(
+            sim, "f", num_steps, kv[:t_f], _rev_transition_list(kv, rev),
+            step_compute, grad_dependent=False,
+        )
+        return sim.run()
+
+    if alg2_payload:
+        full = durations(shard * (3 + 2 / hidden))  # Q + dQ + dO + (D, Lse)
+        dq = durations(shard)                       # accumulator alone
+        ro = durations(shard * (2 + 2 / hidden))    # Q + dO + (D, Lse)
+        fwd_chain = full[:t_f] + dq[t_f:]
+        _bidirectional_ring(
+            sim, "b", num_steps, fwd_chain, _rev_transition_list(ro, rev),
+            step_compute, grad_dependent=True,
+        )
+        makespan = sim.run()
+        if dq:
+            makespan += dq[-1][1]  # dQ return-to-owner hop
+        return makespan
+
+    # Algorithm 1: (K, V) split across streams, (dK, dV) ride forward.
+    full = durations(4 * kv_shard)
+    grads = durations(2 * kv_shard)
+    fwd_chain = full[:t_f] + grads[t_f:]
+    _bidirectional_ring(
+        sim, "b", num_steps, fwd_chain, _rev_transition_list(grads, rev),
+        step_compute, grad_dependent=True,
+    )
+    makespan = sim.run()
+    if grads:
+        makespan += grads[-1][1]  # dK/dV return hop
     return makespan
 
 
@@ -318,6 +471,7 @@ def attention_pass_time(
     peak_flops: float | None = None,
     ulysses_degree: int | None = None,
     ring_window: int | None = None,
+    ring_mode: str = "unidirectional",
 ) -> float:
     """Simulated wall-clock seconds for one distributed attention pass."""
     peak = peak_flops if peak_flops is not None else topology.node.gpu.peak_flops
@@ -327,17 +481,19 @@ def attention_pass_time(
         return _flat_or_double_pass(
             topology, workload, peak, flat=True, backward=backward,
             serialize_gradients=True, alg2_payload=False,
+            ring_mode=ring_mode,
         )
     if method == "loongtrain-double":
         return _flat_or_double_pass(
             topology, workload, peak, flat=False, backward=backward,
             serialize_gradients=True, alg2_payload=False,
+            ring_mode=ring_mode,
         )
     if method == "burst":
         return _flat_or_double_pass(
             topology, workload, peak, flat=False, backward=backward,
             serialize_gradients=False, alg2_payload=True,
-            ring_window=ring_window,
+            ring_window=ring_window, ring_mode=ring_mode,
         )
     if method == "burst-flat":  # ablation: Alg. 2 without topology-aware ring
         return _flat_or_double_pass(

@@ -55,13 +55,19 @@ def _topology():
     return make_cluster(NUM_GPUS, node=a800_node(gpus_per_node=NUM_GPUS))
 
 
-def _make_engine(method: str = "burst", comm=None) -> BurstEngine:
+def _make_engine(
+    method: str = "burst", comm=None, ring_mode: str = "unidirectional"
+) -> BurstEngine:
+    method_kwargs = (
+        {"ring_mode": ring_mode} if ring_mode != "unidirectional" else {}
+    )
     config = EngineConfig(
         model=TransformerConfig(
             vocab_size=32, dim=16, n_layers=1, n_heads=4, ffn_hidden=24,
             max_seq_len=32, attn_block_size=8, seed=1,
         ),
-        method=method, num_gpus=NUM_GPUS, gpus_per_node=NUM_GPUS, lr=3e-3,
+        method=method, method_kwargs=method_kwargs,
+        num_gpus=NUM_GPUS, gpus_per_node=NUM_GPUS, lr=3e-3,
     )
     if comm is not None:
         return BurstEngine(config, comm=comm)
@@ -148,9 +154,11 @@ class ChaosReport:
         return "\n".join(lines)
 
 
-def _baseline_losses(method: str, batches, steps: int) -> list[float]:
+def _baseline_losses(
+    method: str, batches, steps: int, ring_mode: str = "unidirectional"
+) -> list[float]:
     set_seed(0)
-    trainer = Trainer(_make_engine(method), clip_norm=1.0)
+    trainer = Trainer(_make_engine(method, ring_mode=ring_mode), clip_norm=1.0)
     trainer.fit(batches, steps)
     return trainer.losses()
 
@@ -163,20 +171,38 @@ def run_fault_scenarios(
     batches,
     steps: int,
     baseline: list[float],
+    ring_mode: str = "unidirectional",
 ) -> list[ScenarioResult]:
-    """Train through seeded single-site faults behind the resilient layer."""
+    """Train through seeded single-site faults behind the resilient layer.
+
+    Under ``ring_mode="bidirectional"`` every other scenario pins its fault
+    to the reverse channel, so the counter-rotating stream gets direct
+    chaos coverage rather than relying on the RNG to happen to strike it.
+    """
     rng = np.random.default_rng(seed)
     names = sorted(FAULT_REGISTRY)
     results = []
-    for _ in range(n_faults):
+    for i in range(n_faults):
         name = names[int(rng.integers(len(names)))]
-        at_call = int(rng.integers(1, 10))
         victim = int(rng.integers(NUM_GPUS))
-        fault = make_fault(name, _topology(), at_call=at_call, victim=victim)
+        channel = (
+            "rev" if ring_mode == "bidirectional" and i % 2 == 1 else None
+        )
+        # The reverse stream carries far fewer transfers than the forward
+        # one (one seed exchange per pass on a 4-GPU ring), so rev strikes
+        # draw from a window every scenario is guaranteed to reach.
+        at_call = int(rng.integers(1, 5 if channel == "rev" else 10))
+        fault = make_fault(
+            name, _topology(), at_call=at_call, victim=victim,
+            channel=channel,
+        )
         monitor = FaultMonitor()
         comm = ResilientCommunicator(fault, monitor=monitor)
         set_seed(0)
-        trainer = Trainer(_make_engine(method, comm=comm), clip_norm=1.0)
+        trainer = Trainer(
+            _make_engine(method, comm=comm, ring_mode=ring_mode),
+            clip_norm=1.0,
+        )
         trainer.fit(batches, steps)
         diff = float(
             np.max(np.abs(np.asarray(trainer.losses()) - np.asarray(baseline)))
@@ -201,6 +227,7 @@ def run_crash_resume(
     steps: int = 6,
     crash_after: int = 4,
     save_every: int = 2,
+    ring_mode: str = "unidirectional",
 ) -> CrashResult:
     """Kill a snapshotting run mid-flight, resume, and compare histories."""
     with tempfile.TemporaryDirectory() as tmpdir:
@@ -208,7 +235,9 @@ def run_crash_resume(
 
         # The run that never crashes — ground truth history.
         set_seed(0)
-        uninterrupted = Trainer(_make_engine(method), clip_norm=1.0)
+        uninterrupted = Trainer(
+            _make_engine(method, ring_mode=ring_mode), clip_norm=1.0
+        )
         uninterrupted.fit(batches, steps)
 
         # The run that dies right after completing step `crash_after`.
@@ -218,7 +247,7 @@ def run_crash_resume(
 
         set_seed(0)
         doomed = Trainer(
-            _make_engine(method), clip_norm=1.0,
+            _make_engine(method, ring_mode=ring_mode), clip_norm=1.0,
             state_path=state_path, save_every=save_every, on_step_end=crash,
         )
         try:
@@ -230,7 +259,9 @@ def run_crash_resume(
         # A fresh "process": new engine, deliberately scrambled RNG — the
         # snapshot must restore every bit of state that matters.
         set_seed(987654321)
-        resumed = Trainer(_make_engine(method), clip_norm=1.0)
+        resumed = Trainer(
+            _make_engine(method, ring_mode=ring_mode), clip_norm=1.0
+        )
         resumed.fit(batches, steps, resume_from=state_path)
 
         return CrashResult(
@@ -247,19 +278,22 @@ def run_chaos(
     steps: int = 4,
     method: str = "burst",
     crash: bool = True,
+    ring_mode: str = "unidirectional",
 ) -> ChaosReport:
     """Run the full chaos schedule; see the module docstring."""
     batches = _make_batches(seed=0)
-    baseline = _baseline_losses(method, batches, steps)
+    baseline = _baseline_losses(method, batches, steps, ring_mode=ring_mode)
     report = ChaosReport(
         seed=seed, method=method, steps=steps, baseline_losses=baseline
     )
     report.scenarios = run_fault_scenarios(
         seed=seed, n_faults=n_faults, method=method, batches=batches,
-        steps=steps, baseline=baseline,
+        steps=steps, baseline=baseline, ring_mode=ring_mode,
     )
     if crash:
-        report.crash = run_crash_resume(method=method, batches=batches)
+        report.crash = run_crash_resume(
+            method=method, batches=batches, ring_mode=ring_mode
+        )
     return report
 
 
@@ -293,6 +327,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="training steps per scenario")
     parser.add_argument("--method", default="burst",
                         help="distributed attention method under test")
+    parser.add_argument("--ring-mode", default="unidirectional",
+                        choices=("unidirectional", "bidirectional"),
+                        help="ring circulation mode; bidirectional pins "
+                        "every other fault to the reverse channel")
     parser.add_argument("--skip-crash", action="store_true",
                         help="skip the crash-and-resume scenario")
     args = parser.parse_args(argv)
@@ -300,6 +338,7 @@ def main(argv: list[str] | None = None) -> int:
     report = run_chaos(
         seed=args.seed, n_faults=args.faults, steps=args.steps,
         method=args.method, crash=not args.skip_crash,
+        ring_mode=args.ring_mode,
     )
     print(report.summary())
     return 0 if report.ok else 1

@@ -328,23 +328,28 @@ class ResilientCommunicator:
 
     # --- guarded delivery ops ----------------------------------------------
 
-    def ring_shift(self, bufs, ring, *, phase, tag=""):
+    def ring_shift(self, bufs, ring, *, phase, tag="", reverse=False):
         expected = list(bufs)
         k = len(ring)
+        step = -1 if reverse else 1
         for pos in range(k):
-            expected[ring[(pos + 1) % k]] = bufs[ring[pos]]
+            expected[ring[(pos + step) % k]] = bufs[ring[pos]]
         return self._guarded(
             "ring_shift", phase, tag, expected,
-            lambda: self.inner.ring_shift(bufs, ring, phase=phase, tag=tag),
+            lambda: self.inner.ring_shift(
+                bufs, ring, phase=phase, tag=tag, reverse=reverse
+            ),
         )
 
-    def exchange(self, bufs, dest_of, *, phase, tag=""):
+    def exchange(self, bufs, dest_of, *, phase, tag="", channel="fwd"):
         expected: list[object] = [None] * len(bufs)
         for src, dst in enumerate(dest_of):
             expected[dst] = bufs[src]
         return self._guarded(
             "exchange", phase, tag, expected,
-            lambda: self.inner.exchange(bufs, dest_of, phase=phase, tag=tag),
+            lambda: self.inner.exchange(
+                bufs, dest_of, phase=phase, tag=tag, channel=channel
+            ),
         )
 
     def all_to_all(self, chunks, *, phase, tag=""):

@@ -30,6 +30,10 @@ from repro.topology import a800_node, make_cluster
 #: Ring-family methods accept grouped-query KV heads.
 GQA_METHODS = ("megatron-cp", "loongtrain-double", "burst")
 
+#: Ring-family methods also accept the ``ring_mode`` axis (the
+#: bidirectional variant must stay bitwise-identical on any legal problem).
+RING_MODE_METHODS = GQA_METHODS
+
 #: (nodes, gpus_per_node) pool — includes non-power-of-two world sizes.
 TOPO_POOL = [
     (1, 2), (1, 3), (1, 4), (2, 2), (2, 3), (3, 2), (2, 4), (4, 2), (3, 3),
@@ -55,6 +59,7 @@ class FuzzCase:
     block_size: int = 8
     dtype: str = "float64"
     seed: int = 0
+    ring_mode: str = "unidirectional"
 
     @property
     def world_size(self) -> int:
@@ -64,6 +69,8 @@ class FuzzCase:
         kw = {}
         if self.method == "usp" and self.ulysses_degree is not None:
             kw["ulysses_degree"] = self.ulysses_degree
+        if self.ring_mode != "unidirectional":
+            kw["ring_mode"] = self.ring_mode
         return kw
 
     # --- repro round-trip ---------------------------------------------------
@@ -84,6 +91,8 @@ class FuzzCase:
             f"block_size={self.block_size}", f"dtype={self.dtype}",
             f"seed={self.seed}",
         ]
+        if self.ring_mode != "unidirectional":
+            parts.append(f"ring_mode={self.ring_mode}")
         return ",".join(parts)
 
     def repro_command(self, fault: str | None = None) -> str:
@@ -105,7 +114,7 @@ class FuzzCase:
                 raise ValueError(f"malformed case item {item!r}")
             key = key.strip()
             value = value.strip()
-            if key in ("method", "mask", "dtype"):
+            if key in ("method", "mask", "dtype", "ring_mode"):
                 kw[key] = value
             elif key in ("nodes", "gpn", "seq_len", "head_dim", "n_heads",
                          "n_kv_heads", "ulysses_degree", "block_size", "seed"):
@@ -137,6 +146,14 @@ class FuzzCase:
                 raise ValueError(f"{self.method} does not support GQA")
             if self.n_heads % self.n_kv_heads != 0:
                 raise ValueError("n_heads not divisible by n_kv_heads")
+        if self.ring_mode not in ("unidirectional", "bidirectional"):
+            raise ValueError(f"unknown ring_mode {self.ring_mode!r}")
+        if (self.ring_mode != "unidirectional"
+                and self.method not in RING_MODE_METHODS):
+            raise ValueError(
+                f"{self.method} does not take a ring_mode; only "
+                f"{', '.join(RING_MODE_METHODS)} do"
+            )
 
 
 def _divisors(n: int) -> list[int]:
@@ -169,11 +186,14 @@ def sample_case(rng: np.random.Generator, smoke: bool = False) -> FuzzCase:
             n_kv_heads = int(kv_divs[rng.integers(len(kv_divs))])
     block_size = int(rng.choice([4, 8, 16]))
     dtype = "float64" if smoke else DTYPE_POOL[rng.integers(len(DTYPE_POOL))]
+    ring_mode = "unidirectional"
+    if method in RING_MODE_METHODS and rng.random() < 1 / 3:
+        ring_mode = "bidirectional"
     return FuzzCase(
         method=method, mask=mask, nodes=nodes, gpn=gpn, seq_len=seq_len,
         head_dim=head_dim, n_heads=n_heads, n_kv_heads=n_kv_heads,
         ulysses_degree=ulysses_degree, block_size=block_size, dtype=dtype,
-        seed=int(rng.integers(0, 2**16)),
+        seed=int(rng.integers(0, 2**16)), ring_mode=ring_mode,
     )
 
 
@@ -253,6 +273,8 @@ def shrink_case(case: FuzzCase, fails, max_evals: int = 60) -> FuzzCase:
             yield replace(c, n_heads=min_heads, n_kv_heads=None)
         if c.method == "usp" and (c.ulysses_degree or 1) > 1:
             yield replace(c, ulysses_degree=1, n_heads=min(c.n_heads, 2))
+        if c.ring_mode != "unidirectional":
+            yield replace(c, ring_mode="unidirectional")
         if c.head_dim > 2:
             yield replace(c, head_dim=2)
         if c.block_size != 8:

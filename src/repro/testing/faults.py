@@ -66,6 +66,10 @@ class FaultInjectingCommunicator(SimCommunicator):
     ----------
     phase, tag, op:
         Substring filters on the transfer labels (``None`` = match all).
+    channel:
+        Exact-match filter on the ring direction (``"fwd"`` / ``"rev"``);
+        ``None`` matches both.  ``channel="rev"`` aims a fault at the
+        counter-rotating stream of a bidirectional ring.
     at_call:
         1-based index of the matching call to sabotage; ``None`` hits every
         matching call.
@@ -83,6 +87,7 @@ class FaultInjectingCommunicator(SimCommunicator):
         phase: str | None = None,
         tag: str | None = None,
         op: str | None = None,
+        channel: str | None = None,
         at_call: int | None = 1,
         victim: int = 0,
         log=None,
@@ -91,6 +96,7 @@ class FaultInjectingCommunicator(SimCommunicator):
         self.target_phase = phase
         self.target_tag = tag
         self.target_op = op
+        self.target_channel = channel
         self.at_call = at_call
         self.victim = victim
         self.calls_matched = 0
@@ -102,19 +108,22 @@ class FaultInjectingCommunicator(SimCommunicator):
         filters = ", ".join(
             f"{k}={v!r}" for k, v in [
                 ("phase", self.target_phase), ("tag", self.target_tag),
-                ("op", self.target_op), ("at_call", self.at_call),
+                ("op", self.target_op), ("channel", self.target_channel),
+                ("at_call", self.at_call),
             ] if v is not None
         )
         return f"{self.fault_name}({filters})"
 
     # --- targeting ---------------------------------------------------------
 
-    def _triggered(self, op: str, phase: str, tag: str) -> bool:
+    def _triggered(self, op: str, phase: str, tag: str, channel: str = "fwd") -> bool:
         if self.target_op is not None and self.target_op != op:
             return False
         if self.target_phase is not None and self.target_phase not in phase:
             return False
         if self.target_tag is not None and self.target_tag not in tag:
+            return False
+        if self.target_channel is not None and self.target_channel != channel:
             return False
         self.calls_matched += 1
         hit = self.at_call is None or self.calls_matched == self.at_call
@@ -140,21 +149,25 @@ class FaultInjectingCommunicator(SimCommunicator):
     # --- interception ------------------------------------------------------
 
     def _deliver_list(
-        self, op: str, operands: Sequence[object], out: list, phase: str, tag: str
+        self, op: str, operands: Sequence[object], out: list, phase: str,
+        tag: str, channel: str = "fwd",
     ) -> list:
         prev = self._history.get(op)
         self._history[op] = [_copy_tree(b) for b in out]
-        if self._triggered(op, phase, tag):
+        if self._triggered(op, phase, tag, channel):
             return self._fault_list(op, list(operands), list(out), prev)
         return out
 
-    def ring_shift(self, bufs, ring, *, phase, tag=""):
-        out = super().ring_shift(bufs, ring, phase=phase, tag=tag)
-        return self._deliver_list("ring_shift", bufs, out, phase, tag)
+    def ring_shift(self, bufs, ring, *, phase, tag="", reverse=False):
+        out = super().ring_shift(bufs, ring, phase=phase, tag=tag,
+                                 reverse=reverse)
+        channel = "rev" if reverse else "fwd"
+        return self._deliver_list("ring_shift", bufs, out, phase, tag, channel)
 
-    def exchange(self, bufs, dest_of, *, phase, tag=""):
-        out = super().exchange(bufs, dest_of, phase=phase, tag=tag)
-        return self._deliver_list("exchange", bufs, out, phase, tag)
+    def exchange(self, bufs, dest_of, *, phase, tag="", channel="fwd"):
+        out = super().exchange(bufs, dest_of, phase=phase, tag=tag,
+                               channel=channel)
+        return self._deliver_list("exchange", bufs, out, phase, tag, channel)
 
     def all_to_all(self, chunks, *, phase, tag=""):
         out = super().all_to_all(chunks, phase=phase, tag=tag)

@@ -40,6 +40,13 @@ GOLDEN_CASES: dict[str, dict] = {
     name: dict(_BASE) for name in METHOD_REGISTRY
 }
 GOLDEN_CASES["usp"]["method_kwargs"] = {"ulysses_degree": 2}
+#: Cases may carry an explicit "method" key when the fixture name is not a
+#: registry name — e.g. the same method pinned under a non-default mode.
+#: Bidirectional burst is bitwise-identical to "burst" by design; a
+#: separate fixture pins that equivalence against future transport drift.
+GOLDEN_CASES["burst-bidir"] = dict(
+    _BASE, method="burst", method_kwargs={"ring_mode": "bidirectional"}
+)
 
 RTOL = 1e-9
 ATOL = 1e-11
@@ -62,7 +69,7 @@ def compute_golden(method_name: str) -> dict[str, np.ndarray]:
     shape = (case["n_heads"], case["seq_len"], case["head_dim"])
     q, k, v, do = (rng.normal(size=shape) for _ in range(4))
     method = get_method(
-        method_name, block_size=case["block_size"],
+        case.get("method", method_name), block_size=case["block_size"],
         **case.get("method_kwargs", {}),
     )
     res = method.run(topo, q, k, v, mask=CausalMask(), do=do)
@@ -151,7 +158,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--dir", type=Path, default=None,
                         help="fixture directory (default tests/golden)")
     args = parser.parse_args(argv)
-    methods = args.methods or sorted(METHOD_REGISTRY)
+    methods = args.methods or sorted(GOLDEN_CASES)
 
     if args.update:
         for name in methods:

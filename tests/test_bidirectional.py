@@ -1,0 +1,203 @@
+"""Acceptance tests for the bidirectional ring mode.
+
+The contract under test: ``ring_mode="bidirectional"`` changes *only* the
+transport — the compute loop, visit order, online-softmax merge order, and
+gradient accumulation order are untouched — so its outputs are **bitwise
+identical** to the unidirectional path for every ring-family method, mask,
+and head layout.  Alongside the end-to-end pins, this file unit-tests the
+schedule primitives the mode is built from (the reverse seed permutation,
+the forward/reverse split, :class:`BidirectionalFlow` delivery timing) and
+the differential-test plumbing (``FuzzCase.ring_mode`` round-trip and
+validation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.attention import get_method
+from repro.attention.verify import verify_method
+from repro.comm import SimCommunicator
+from repro.comm.ring import (
+    RING_MODES,
+    BidirectionalFlow,
+    bidirectional_split,
+    check_ring_mode,
+    double_ring_schedule,
+    global_ring_schedule,
+)
+from repro.masks import ALiBiMask, CausalMask
+from repro.topology import a800_node, make_cluster
+
+
+def topo(nodes, gpn):
+    return make_cluster(nodes * gpn, node=a800_node(gpus_per_node=gpn))
+
+
+RING_METHODS = ["megatron-cp", "loongtrain-double", "burst"]
+TOPOLOGIES = [topo(1, 4), topo(2, 4), topo(2, 3), topo(3, 3)]
+ARRAYS = ("o", "lse", "dq", "dk", "dv")
+
+
+def run_mode(method_name, topology, mode, *, mask, n_heads=2, n_kv_heads=None,
+             seq_mult=8, head_dim=4, seed=0):
+    g = topology.world_size
+    n = seq_mult * g
+    h_kv = n_kv_heads if n_kv_heads is not None else n_heads
+    rng = np.random.default_rng(seed)
+    q = rng.normal(size=(n_heads, n, head_dim))
+    k = rng.normal(size=(h_kv, n, head_dim))
+    v = rng.normal(size=(h_kv, n, head_dim))
+    do = rng.normal(size=(n_heads, n, head_dim))
+    method = get_method(method_name, block_size=8, ring_mode=mode)
+    comm = SimCommunicator(topology)
+    return method.run(topology, q, k, v, mask=mask, do=do, comm=comm)
+
+
+class TestBitwiseIdentity:
+    """The acceptance criterion, asserted with ``==`` — no tolerance."""
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES,
+                             ids=lambda t: f"{t.num_nodes}x{t.gpus_per_node}")
+    @pytest.mark.parametrize("method", RING_METHODS)
+    @pytest.mark.parametrize("mask_name", ["causal", "alibi", "full"])
+    def test_modes_bitwise_identical(self, method, mask_name, topology):
+        mask = {"causal": CausalMask(), "alibi": ALiBiMask(2),
+                "full": None}[mask_name]
+        uni = run_mode(method, topology, "unidirectional", mask=mask)
+        bidir = run_mode(method, topology, "bidirectional", mask=mask)
+        for name in ARRAYS:
+            a, b = getattr(uni, name), getattr(bidir, name)
+            assert np.array_equal(a, b), f"{name} diverged under {mask_name}"
+
+    @pytest.mark.parametrize("method", RING_METHODS)
+    @pytest.mark.parametrize("heads", [(4, 2), (4, 1), (6, 3)])
+    def test_gqa_bitwise_identical(self, method, heads):
+        n_heads, n_kv_heads = heads
+        topology = topo(2, 2)
+        uni = run_mode(method, topology, "unidirectional", mask=CausalMask(),
+                       n_heads=n_heads, n_kv_heads=n_kv_heads)
+        bidir = run_mode(method, topology, "bidirectional", mask=CausalMask(),
+                         n_heads=n_heads, n_kv_heads=n_kv_heads)
+        for name in ARRAYS:
+            assert np.array_equal(getattr(uni, name), getattr(bidir, name))
+
+    @pytest.mark.parametrize("method", RING_METHODS)
+    def test_bidirectional_matches_dense_reference(self, method):
+        report = verify_method(
+            method, num_gpus=4, gpus_per_node=2, seq_len=32, n_heads=4,
+            ring_mode="bidirectional",
+        )
+        assert report.passed, report.summary()
+
+
+class TestSchedulePrimitives:
+    @pytest.mark.parametrize("topology", TOPOLOGIES,
+                             ids=lambda t: f"{t.num_nodes}x{t.gpus_per_node}")
+    @pytest.mark.parametrize("make", [global_ring_schedule,
+                                      double_ring_schedule])
+    def test_reverse_seed_is_inverse_of_return(self, make, topology):
+        sched = make(topology)
+        perm = sched.return_permutation()
+        inv = sched.reverse_seed_permutation()
+        g = topology.world_size
+        assert sorted(inv) == list(range(g))
+        assert [perm[inv[r]] for r in range(g)] == list(range(g))
+
+    def test_bidirectional_split_halves_the_chain(self):
+        for s in range(2, 16):
+            fwd, rev = bidirectional_split(s)
+            assert fwd + rev == s - 1  # all non-home placements served
+            assert 0 <= fwd - rev <= 1  # forward serves the odd one out
+
+    @pytest.mark.parametrize("make", [global_ring_schedule,
+                                      double_ring_schedule])
+    def test_flow_delivers_on_time_and_in_visit_order(self, make):
+        """Reverse delivery for compute step t equals the forward stream's
+        placement at step t: same origins, earlier arrival."""
+        topology = topo(2, 3)
+        sched = make(topology)
+        g = topology.world_size
+        comm = SimCommunicator(topology)
+        bufs = [np.array([float(r)]) for r in range(g)]
+        flow = BidirectionalFlow(comm, sched, bufs, phase="p", tag="t")
+        origins = sched.origins()
+        fwd = list(bufs)
+        for t in range(sched.num_steps - 1):
+            fwd = sched.apply(comm, fwd, t, phase="p")
+            flow.poststep(t)
+            ro = flow.delivered(t + 1)
+            if t + 1 > flow.forward_transitions:
+                assert ro is not None
+                for r in range(g):
+                    assert ro[r][0] == float(origins[t + 1][r])
+                    assert ro[r][0] == fwd[r][0]
+            else:
+                assert ro is None
+
+    def test_reverse_traffic_lands_on_rev_channel(self):
+        topology = topo(2, 3)
+        sched = global_ring_schedule(topology)
+        comm = SimCommunicator(topology)
+        bufs = [np.ones(2) for _ in range(topology.world_size)]
+        flow = BidirectionalFlow(comm, sched, bufs, phase="p")
+        for t in range(sched.num_steps - 1):
+            flow.poststep(t)
+        by_channel = comm.log.per_channel_elems(phase="p")
+        assert by_channel.get("rev", 0) > 0
+        assert by_channel.get("fwd", 0) == 0
+
+    def test_check_ring_mode(self):
+        assert check_ring_mode("unidirectional") == "unidirectional"
+        assert check_ring_mode("bidirectional") == "bidirectional"
+        with pytest.raises(ValueError, match="unknown ring_mode"):
+            check_ring_mode("diagonal")
+        with pytest.raises(ValueError, match="unknown ring_mode"):
+            get_method("burst", ring_mode="diagonal")
+
+    def test_non_ring_method_rejects_ring_mode(self):
+        with pytest.raises(TypeError):
+            get_method("ulysses", ring_mode="bidirectional")
+
+
+def fuzz_case(**overrides):
+    from repro.testing.differential import FuzzCase
+
+    base = dict(method="burst", mask="causal", nodes=2, gpn=2, seq_len=32,
+                head_dim=4, n_heads=4)
+    base.update(overrides)
+    return FuzzCase(**base)
+
+
+class TestFuzzerAxis:
+    def test_ring_mode_spec_round_trip(self):
+        from repro.testing.differential import FuzzCase
+
+        case = fuzz_case(ring_mode="bidirectional")
+        parsed = FuzzCase.parse(case.spec())
+        assert parsed.ring_mode == "bidirectional"
+        assert parsed == case
+
+    def test_default_mode_omitted_from_spec(self):
+        from repro.testing.differential import FuzzCase
+
+        case = fuzz_case()
+        assert "ring_mode" not in case.spec()
+        assert FuzzCase.parse(case.spec()).ring_mode == "unidirectional"
+
+    def test_validate_rejects_bad_combinations(self):
+        with pytest.raises(ValueError):
+            fuzz_case(ring_mode="sideways").validate()
+        with pytest.raises(ValueError):
+            fuzz_case(method="ulysses", ring_mode="bidirectional").validate()
+
+    def test_shrinker_reduces_to_unidirectional(self):
+        """A failure that persists regardless of mode shrinks to the
+        simpler unidirectional repro."""
+        from repro.testing.differential import shrink_case
+
+        case = fuzz_case(ring_mode="bidirectional")
+        shrunk = shrink_case(case, fails=lambda c: True)
+        assert shrunk.ring_mode == "unidirectional"
+
+    def test_registry_exports_modes(self):
+        assert RING_MODES == ("unidirectional", "bidirectional")

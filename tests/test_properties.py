@@ -144,6 +144,48 @@ class TestAlgorithmEquivalenceProperty:
         )
         assert report.passed, report.summary()
 
+    # The same awkward corners under bidirectional transport: the mode must
+    # stay correct (and bitwise equal to unidirectional) for sequence
+    # lengths that are odd multiples of the shard and for GQA head ratios,
+    # not just on the aligned configurations the pinned tests use.
+
+    @settings(deadline=None, max_examples=6)
+    @given(
+        method=st.sampled_from(["burst", "megatron-cp", "loongtrain-double"]),
+        shape=st.sampled_from([(1, 2), (1, 3), (2, 2)]),
+        mult=st.sampled_from([1, 3, 5]),
+        mask=st.sampled_from(["causal", "swa", "full"]),
+        seed=st.integers(0, 500),
+    )
+    def test_verify_uneven_sequence_lengths_bidirectional(
+        self, method, shape, mult, mask, seed
+    ):
+        nodes, gpn = shape
+        g = nodes * gpn
+        report = verify_method(
+            method, num_gpus=g, gpus_per_node=gpn, seq_len=2 * g * mult,
+            n_heads=2, head_dim=4, mask=mask, seed=seed, block_size=8,
+            ring_mode="bidirectional",
+        )
+        assert report.passed, report.summary()
+
+    @settings(deadline=None, max_examples=6)
+    @given(
+        method=st.sampled_from(["burst", "megatron-cp", "loongtrain-double"]),
+        heads=st.sampled_from([(2, 1), (4, 2), (4, 1), (6, 3), (6, 2)]),
+        mask=st.sampled_from(["causal", "full"]),
+        seed=st.integers(0, 500),
+    )
+    def test_verify_gqa_head_ratios_bidirectional(self, method, heads, mask,
+                                                  seed):
+        n_heads, n_kv_heads = heads
+        report = verify_method(
+            method, num_gpus=4, gpus_per_node=2, seq_len=32,
+            n_heads=n_heads, n_kv_heads=n_kv_heads, head_dim=4, mask=mask,
+            seed=seed, block_size=8, ring_mode="bidirectional",
+        )
+        assert report.passed, report.summary()
+
 
 class TestCollectiveProperties:
     @settings(deadline=None, max_examples=10)

@@ -84,6 +84,50 @@ class TestRecoveryMatrix:
         assert not report.passed
 
 
+class TestBidirectionalRecovery:
+    """The reverse channel of ``ring_mode="bidirectional"`` is covered by
+    the same five fault classes, and the resilient layer heals it: the
+    recovered run still matches the dense reference."""
+
+    @pytest.mark.parametrize("fault_name", sorted(FAULT_REGISTRY))
+    def test_reverse_channel_fault_recovered(self, fault_name):
+        inner = make_fault(fault_name, topo4(), at_call=1, channel="rev")
+        comm = ResilientCommunicator(inner)
+        report = verify_method(
+            "burst", num_gpus=4, gpus_per_node=4, seq_len=32, n_heads=4,
+            comm=comm, ring_mode="bidirectional",
+        )
+        assert inner.injections >= 1, "reverse-channel fault never fired"
+        assert comm.monitor.total_faults >= 1, "fault not detected"
+        assert comm.monitor.total_recoveries >= 1, "fault not recovered"
+        assert report.passed, report.summary()
+
+    @pytest.mark.parametrize("fault_name", sorted(FAULT_REGISTRY))
+    def test_unprotected_reverse_channel_stays_broken(self, fault_name):
+        """Without the resilient wrapper a reverse-channel fault corrupts
+        the bidirectional run, so the matrix above is not vacuous."""
+        inner = make_fault(fault_name, topo4(), at_call=1, channel="rev")
+        report = verify_method(
+            "burst", num_gpus=4, gpus_per_node=4, seq_len=32, n_heads=4,
+            comm=inner, ring_mode="bidirectional",
+        )
+        assert not report.passed
+
+    @pytest.mark.parametrize("method", ["burst", "megatron-cp"])
+    def test_matrix_extends_to_bidirectional(self, method):
+        """The original recovery matrix holds with the mode flipped:
+        an untargeted mid-run fault still heals under bidirectional."""
+        inner = make_fault("corrupt", topo4(), at_call=2)
+        comm = ResilientCommunicator(inner)
+        report = verify_method(
+            method, num_gpus=4, gpus_per_node=4, seq_len=32, n_heads=4,
+            comm=comm, ring_mode="bidirectional",
+        )
+        assert inner.injections >= 1
+        assert comm.monitor.total_recoveries >= 1
+        assert report.passed, report.summary()
+
+
 class TestStructuredFailure:
     def test_persistent_fault_raises_commfailure(self):
         comm = ResilientCommunicator(
@@ -339,3 +383,11 @@ class TestChaosRunner:
 
         assert main(["--seed", "0", "--faults", "1", "--steps", "2",
                      "--skip-crash"]) == 0
+
+    def test_chaos_bidirectional_entry(self):
+        """The bidirectional entry strikes the reverse channel (fault #2
+        of each pair) and every scenario still recovers bitwise."""
+        report = run_chaos(seed=3, n_faults=2, steps=2, crash=False,
+                           ring_mode="bidirectional")
+        assert report.ok, report.summary()
+        assert all(s.injections >= 1 for s in report.scenarios)

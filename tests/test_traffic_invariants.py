@@ -13,7 +13,7 @@ import pytest
 
 from repro.attention import get_method
 from repro.comm import SimCommunicator
-from repro.perf.cost import attention_step_sizes
+from repro.perf.cost import attention_step_sizes, bidirectional_direction_bytes
 from repro.testing import (
     check_all_invariants,
     check_table1_consistency,
@@ -64,6 +64,69 @@ class TestBackwardVolumePinned:
         assert expected_backward_elems("alg2", 64, 8) == 3 * 64 * 8 + 2 * 64
         with pytest.raises(ValueError, match="unknown algorithm"):
             expected_backward_elems("alg3", 64, 8)
+
+
+class TestBidirectionalVolumePinned:
+    """Per-direction byte totals of ``ring_mode="bidirectional"``, pinned
+    to the closed forms in :func:`bidirectional_direction_bytes` on the
+    same four topologies as the unidirectional ``4Nd`` / ``3Nd + 2N``
+    pins."""
+
+    def _run(self, method_name, topology, n, d):
+        rng = np.random.default_rng(0)
+        q, k, v, do = (rng.normal(size=(1, n, d)) for _ in range(4))
+        method = get_method(
+            method_name, block_size=max(4, n // 8), ring_mode="bidirectional"
+        )
+        comm = SimCommunicator(topology)
+        method.run(topology, q, k, v, mask=None, do=do, comm=comm)
+        return comm.log
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES,
+                             ids=lambda t: f"{t.num_nodes}x{t.gpus_per_node}")
+    @pytest.mark.parametrize("method,bwd_key", [
+        ("megatron-cp", "bwd_alg1"),
+        ("loongtrain-double", "bwd_alg1"),
+        ("burst", "bwd_alg2"),
+    ])
+    def test_per_direction_elems_match_closed_forms(
+        self, method, bwd_key, topology
+    ):
+        g = topology.world_size
+        n, d = 8 * g, 4
+        log = self._run(method, topology, n, d)
+        pred = bidirectional_direction_bytes(n, d, g, bytes_per_elem=1)
+        for phase, key in [("attn-fwd", "fwd"), ("attn-bwd", bwd_key)]:
+            for channel in ("fwd", "rev"):
+                per_rank = log.per_rank_send_elems(
+                    phase=phase, channel=channel
+                )
+                want = pred[key][channel]
+                got = [per_rank.get(r, 0) for r in range(g)]
+                assert got == [want] * g, (phase, channel, got, want)
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES,
+                             ids=lambda t: f"{t.num_nodes}x{t.gpus_per_node}")
+    def test_bidirectional_moves_fewer_total_elems(self, topology):
+        """The read-only parts skip the long way round, so bidirectional
+        strictly undercuts the unidirectional ``3Nd + 2N`` total."""
+        g = topology.world_size
+        n, d = 8 * g, 4
+        log = self._run("burst", topology, n, d)
+        per_rank = log.per_rank_send_elems(phase="attn-bwd")
+        assert all(v < 3 * n * d + 2 * n for v in per_rank.values())
+
+    def test_per_channel_split_accounts_for_everything(self):
+        topology = topo(2, 2)
+        n, d = 32, 4
+        log = self._run("burst", topology, n, d)
+        for phase in ("attn-fwd", "attn-bwd"):
+            by_channel = log.per_channel_elems(phase=phase)
+            total = sum(
+                log.per_rank_send_elems(phase=phase).values()
+            )
+            assert sum(by_channel.values()) == total
+            assert set(by_channel) == {"fwd", "rev"}
 
 
 class TestInvariantCrossChecks:
