@@ -17,6 +17,14 @@ single-process SPMD simulation.
 
 from repro.comm.traffic import TrafficLog, TransferRecord
 from repro.comm.communicator import SimCommunicator
+from repro.comm.failure import (
+    NOMINAL_OP_S,
+    FailureDetector,
+    LeaseConfig,
+    OpTiming,
+    RankFailure,
+    SimClock,
+)
 from repro.comm.ring import (
     RING_MODES,
     BidirectionalFlow,
@@ -32,6 +40,12 @@ __all__ = [
     "TrafficLog",
     "TransferRecord",
     "SimCommunicator",
+    "NOMINAL_OP_S",
+    "FailureDetector",
+    "LeaseConfig",
+    "OpTiming",
+    "RankFailure",
+    "SimClock",
     "RingSchedule",
     "RING_MODES",
     "BidirectionalFlow",

@@ -47,6 +47,7 @@ from repro.nn.serialization import (
     load_train_state,
     save_model,
     save_train_state,
+    verify_train_state,
 )
 from repro.nn.rng import get_rng_state, set_rng_state, set_seed
 from repro.nn.rope import apply_rope, rope_angles
@@ -83,6 +84,7 @@ __all__ = [
     "save_model",
     "load_train_state",
     "save_train_state",
+    "verify_train_state",
     "get_rng_state",
     "set_rng_state",
     "set_seed",

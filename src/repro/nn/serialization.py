@@ -223,6 +223,60 @@ def save_train_state(
     return digest
 
 
+def verify_train_state(path: str) -> dict:
+    """Structural + integrity verification of a snapshot, without a model.
+
+    Stricter than :func:`load_train_state`'s tolerant read path: the file
+    must parse as an npz, must *contain* a manifest checksum (a snapshot
+    written without one is treated as partial, not legacy), the digest
+    must match, the :data:`META_KEY` entry must hold valid JSON of the
+    current :data:`FORMAT_VERSION`, and every parameter/optimizer entry
+    must be covered by the manifest.  Returns the metadata dict.
+
+    Raises :class:`CheckpointError` on any violation — including a file
+    truncated by a crash mid-write, which the elastic recovery loop uses
+    to fall back to the previous complete snapshot.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            stored = {name: data[name] for name in data.files}
+    except CheckpointError:
+        raise
+    except Exception as exc:  # unreadable / truncated / not an npz
+        raise CheckpointError(
+            f"snapshot {path!r} is unreadable: {type(exc).__name__}: {exc}"
+        ) from exc
+    digest = stored.pop(CHECKSUM_KEY, None)
+    if digest is None:
+        raise CheckpointError(
+            f"snapshot {path!r} has no manifest checksum (partial write?)"
+        )
+    actual = checksum_arrays(stored)
+    if str(digest) != actual:
+        raise CheckpointError(
+            f"snapshot {path!r} is corrupt: manifest checksum mismatch "
+            f"(stored {str(digest)[:12]}…, recomputed {actual[:12]}…)"
+        )
+    meta_arr = stored.pop(META_KEY, None)
+    if meta_arr is None:
+        raise CheckpointError(
+            f"snapshot {path!r} is not a train-state snapshot "
+            f"(no {META_KEY} entry)"
+        )
+    try:
+        meta = json.loads(str(meta_arr))
+    except (ValueError, TypeError) as exc:
+        raise CheckpointError(
+            f"snapshot {path!r} has undecodable metadata: {exc}"
+        ) from exc
+    if meta.get("version") != FORMAT_VERSION:
+        raise CheckpointError(
+            f"snapshot {path!r} has unsupported version "
+            f"{meta.get('version')!r} (expected {FORMAT_VERSION})"
+        )
+    return meta
+
+
 def load_train_state(
     path: str,
     model: Module,

@@ -21,13 +21,22 @@ from repro.perf.cost import (
     CommCost,
     table1_comm_times,
     attention_step_sizes,
+    degraded_attention_step_sizes,
+    degraded_table1_comm_times,
+    degraded_topology,
+    failure_detection_time,
+    rank_failure_downtime,
     matmul_time,
     causal_tile_counts,
     sliding_window_tile_counts,
     block_sparse_tile_counts,
 )
 from repro.perf.memory import MemoryModel, MemoryBreakdown, TrainingSetup
-from repro.perf.schedules.attention import attention_pass_time, ATTENTION_SCHEDULES
+from repro.perf.schedules.attention import (
+    ATTENTION_SCHEDULES,
+    attention_pass_time,
+    degraded_attention_pass_time,
+)
 from repro.perf.schedules.end_to_end import (
     EndToEndModel,
     EndToEndResult,
@@ -42,6 +51,11 @@ __all__ = [
     "CommCost",
     "table1_comm_times",
     "attention_step_sizes",
+    "degraded_attention_step_sizes",
+    "degraded_table1_comm_times",
+    "degraded_topology",
+    "failure_detection_time",
+    "rank_failure_downtime",
     "matmul_time",
     "causal_tile_counts",
     "sliding_window_tile_counts",
@@ -50,6 +64,7 @@ __all__ = [
     "MemoryBreakdown",
     "TrainingSetup",
     "attention_pass_time",
+    "degraded_attention_pass_time",
     "ATTENTION_SCHEDULES",
     "EndToEndModel",
     "EndToEndResult",

@@ -4,6 +4,7 @@ from repro.perf.schedules.attention import (
     ATTENTION_SCHEDULES,
     AttentionWorkload,
     attention_pass_time,
+    degraded_attention_pass_time,
 )
 from repro.perf.schedules.end_to_end import (
     EndToEndModel,
@@ -15,6 +16,7 @@ __all__ = [
     "ATTENTION_SCHEDULES",
     "AttentionWorkload",
     "attention_pass_time",
+    "degraded_attention_pass_time",
     "EndToEndModel",
     "EndToEndResult",
     "end_to_end_step",

@@ -34,6 +34,14 @@ from repro.resilience.comm import (
     RetryPolicy,
     tree_checksum,
 )
+from repro.resilience.rank_faults import (
+    RANK_FAULT_REGISTRY,
+    CrashRankComm,
+    HangRankComm,
+    RankFaultComm,
+    StragglerRankComm,
+    make_rank_fault,
+)
 
 # Chaos exports are lazy (PEP 562): the runner pulls in the full engine
 # stack, and ``python -m repro.resilience.chaos`` would otherwise import
@@ -41,9 +49,20 @@ from repro.resilience.comm import (
 _CHAOS_EXPORTS = (
     "ChaosReport",
     "CrashResult",
+    "RankFaultResult",
     "ScenarioResult",
     "SimulatedCrash",
     "run_chaos",
+    "run_rank_fault_matrix",
+)
+
+# Elastic exports are lazy for the same reason: the runner builds engines.
+_ELASTIC_EXPORTS = (
+    "ElasticResult",
+    "ElasticRunner",
+    "FailureRecord",
+    "SnapshotStore",
+    "replan_partition",
 )
 
 
@@ -52,6 +71,10 @@ def __getattr__(name):
         from repro.resilience import chaos
 
         return getattr(chaos, name)
+    if name in _ELASTIC_EXPORTS:
+        from repro.resilience import elastic
+
+        return getattr(elastic, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -63,9 +86,22 @@ __all__ = [
     "ResilientCommunicator",
     "RetryPolicy",
     "tree_checksum",
+    "RANK_FAULT_REGISTRY",
+    "RankFaultComm",
+    "CrashRankComm",
+    "HangRankComm",
+    "StragglerRankComm",
+    "make_rank_fault",
     "ChaosReport",
     "CrashResult",
+    "RankFaultResult",
     "ScenarioResult",
     "SimulatedCrash",
     "run_chaos",
+    "run_rank_fault_matrix",
+    "ElasticResult",
+    "ElasticRunner",
+    "FailureRecord",
+    "SnapshotStore",
+    "replan_partition",
 ]

@@ -26,17 +26,21 @@ suites can assert against one shared chaos run.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import tempfile
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
+from repro.comm import FailureDetector, SimCommunicator
 from repro.engine import BurstEngine, EngineConfig, Trainer
 from repro.nn import TransformerConfig
 from repro.nn.rng import set_seed
 from repro.resilience.comm import FaultMonitor, ResilientCommunicator
+from repro.resilience.elastic import ElasticRunner
+from repro.resilience.rank_faults import make_rank_fault
 from repro.testing.faults import FAULT_REGISTRY, make_fault
 from repro.topology import a800_node, make_cluster
 
@@ -297,6 +301,184 @@ def run_chaos(
     return report
 
 
+# --- rank-failure matrix ------------------------------------------------------
+
+#: Sequence length for elastic scenarios: divisible by ``2 * G`` for both
+#: the healthy 4-rank world and the 3 survivors a single failure leaves.
+ELASTIC_SEQ = 24
+
+#: (method, ring_mode) cells of the rank-failure matrix; Ulysses has no
+#: ring, so its ring_mode axis collapses to one cell.
+RANK_FAULT_CELLS = (
+    ("burst", "unidirectional"),
+    ("burst", "bidirectional"),
+    ("megatron-cp", "unidirectional"),
+    ("megatron-cp", "bidirectional"),
+    ("ulysses", "unidirectional"),
+)
+
+#: Straggler slowdown past the fully-escalated lease (24x nominal), so the
+#: detector must eventually declare the rank dead rather than tolerate it.
+FATAL_SLOWDOWN = 64.0
+
+
+def _make_elastic_config(
+    method: str, ring_mode: str = "unidirectional"
+) -> EngineConfig:
+    method_kwargs = (
+        {"ring_mode": ring_mode} if ring_mode != "unidirectional" else {}
+    )
+    return EngineConfig(
+        model=TransformerConfig(
+            vocab_size=32, dim=24, n_layers=1, n_heads=12, ffn_hidden=24,
+            max_seq_len=ELASTIC_SEQ, attn_block_size=4, seed=1,
+        ),
+        method=method, method_kwargs=method_kwargs,
+        num_gpus=NUM_GPUS, gpus_per_node=NUM_GPUS, lr=3e-3,
+    )
+
+
+@dataclass
+class RankFaultResult:
+    """Outcome of one detect -> shrink -> replay scenario."""
+
+    kind: str
+    method: str
+    ring_mode: str
+    victim: int
+    detected: bool
+    detected_kind: str | None
+    world_before: int
+    world_after: int
+    resume_step: int
+    replay_match: bool
+    traffic_match: bool
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.detected
+            and self.detected_kind == self.kind
+            and self.world_after == self.world_before - 1
+            and self.replay_match
+            and self.traffic_match
+        )
+
+    def summary(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        return (
+            f"[{status}] {self.kind} rank {self.victim} under "
+            f"{self.method}/{self.ring_mode}: detected={self.detected} "
+            f"world={self.world_before}->{self.world_after} "
+            f"resume@{self.resume_step} "
+            f"replay={'bitwise' if self.replay_match else 'DIVERGED'} "
+            f"traffic={'match' if self.traffic_match else 'MISMATCH'}"
+        )
+
+
+def _log_signature(comm) -> list[tuple]:
+    return [
+        (r.src, r.dst, r.nbytes, r.nelems, r.phase, r.channel)
+        for r in comm.log.records
+    ]
+
+
+def run_rank_fault_scenario(
+    kind: str,
+    method: str,
+    ring_mode: str = "unidirectional",
+    *,
+    seed: int = 0,
+    steps: int = 4,
+    fail_step: int = 2,
+    victim: int = 1,
+) -> RankFaultResult:
+    """One cell of the matrix: kill ``victim`` mid-run, recover, verify.
+
+    The elastic run must (1) *detect* — raise a structured failure instead
+    of deadlocking, (2) *shrink* to the ``G - 1`` survivors, and (3)
+    *replay* such that both the step history and the full post-resume
+    traffic log are bitwise identical to a fresh survivors-only run resumed
+    from the same snapshot.
+    """
+    config = _make_elastic_config(method, ring_mode)
+    batches = _make_batches(seed=0, seq=ELASTIC_SEQ)
+    comms: list[FailureDetector] = []
+
+    def comm_factory(topo, incarnation):
+        if incarnation == 0:
+            kwargs = dict(rank=victim, at_step=fail_step, at_call=1)
+            if kind == "straggler":
+                kwargs["slowdown_factor"] = FATAL_SLOWDOWN
+            inner = make_rank_fault(kind, topo, **kwargs)
+        else:
+            inner = SimCommunicator(topo)
+        detector = FailureDetector(inner)
+        comms.append(detector)
+        return detector
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        runner = ElasticRunner(
+            lambda topo, comm: BurstEngine(config, comm=comm),
+            snapshot_dir=tmpdir,
+            comm_factory=comm_factory,
+            seed=seed,
+        )
+        result = runner.run(batches, steps, _topology())
+        detected = len(result.failures) == 1
+        record = result.failures[0] if detected else None
+
+        replay_match = traffic_match = False
+        if record is not None and record.resume_path is not None:
+            # Ground truth: a fresh process on the survivor topology,
+            # resumed from the very snapshot the elastic run replayed.
+            fresh_comm = FailureDetector(SimCommunicator(result.topology))
+            set_seed(seed)
+            fresh = Trainer(BurstEngine(config, comm=fresh_comm), clip_norm=1.0)
+            fresh.fit(batches, steps, resume_from=record.resume_path)
+            replay_match = (
+                [asdict(r) for r in fresh.history]
+                == [asdict(r) for r in result.history]
+            )
+            traffic_match = (
+                _log_signature(fresh_comm) == _log_signature(comms[-1])
+            )
+
+    return RankFaultResult(
+        kind=kind,
+        method=method,
+        ring_mode=ring_mode,
+        victim=victim,
+        detected=detected,
+        detected_kind=record.failure.kind if record else None,
+        world_before=record.world_before if record else NUM_GPUS,
+        world_after=record.world_after if record else NUM_GPUS,
+        resume_step=record.resume_step if record else -1,
+        replay_match=replay_match,
+        traffic_match=traffic_match,
+    )
+
+
+def run_rank_fault_matrix(
+    seed: int = 0, steps: int = 4
+) -> list[RankFaultResult]:
+    """The full {crash, hang, straggler} x method/ring-mode matrix."""
+    from repro.resilience.rank_faults import RANK_FAULT_REGISTRY
+
+    rng = np.random.default_rng(seed)
+    results = []
+    for method, ring_mode in RANK_FAULT_CELLS:
+        for kind in sorted(RANK_FAULT_REGISTRY):
+            victim = int(rng.integers(NUM_GPUS))
+            results.append(
+                run_rank_fault_scenario(
+                    kind, method, ring_mode,
+                    seed=seed, steps=steps, victim=victim,
+                )
+            )
+    return results
+
+
 # --- pytest integration ------------------------------------------------------
 
 try:  # pragma: no cover - import guard
@@ -333,7 +515,30 @@ def main(argv: list[str] | None = None) -> int:
                         "every other fault to the reverse channel")
     parser.add_argument("--skip-crash", action="store_true",
                         help="skip the crash-and-resume scenario")
+    parser.add_argument("--rank-faults", action="store_true",
+                        help="run the rank-failure matrix instead: "
+                        "{crash, hang, straggler} x method/ring-mode; every "
+                        "cell must detect, shrink to the survivors, and "
+                        "replay bitwise")
+    parser.add_argument("--report", metavar="PATH",
+                        help="also write the results as JSON to PATH")
     args = parser.parse_args(argv)
+
+    if args.rank_faults:
+        results = run_rank_fault_matrix(seed=args.seed, steps=args.steps)
+        for r in results:
+            print(r.summary())
+        ok = all(r.ok for r in results)
+        print(f"rank-failure matrix: {len(results)} cells, "
+              f"{'ALL RECOVERED' if ok else 'FAILURES'}")
+        if args.report:
+            payload = {
+                "mode": "rank-faults", "seed": args.seed, "ok": ok,
+                "cells": [dict(asdict(r), ok=r.ok) for r in results],
+            }
+            with open(args.report, "w") as fh:
+                json.dump(payload, fh, indent=2)
+        return 0 if ok else 1
 
     report = run_chaos(
         seed=args.seed, n_faults=args.faults, steps=args.steps,
@@ -341,6 +546,10 @@ def main(argv: list[str] | None = None) -> int:
         ring_mode=args.ring_mode,
     )
     print(report.summary())
+    if args.report:
+        payload = dict(asdict(report), mode="chaos", ok=report.ok)
+        with open(args.report, "w") as fh:
+            json.dump(payload, fh, indent=2)
     return 0 if report.ok else 1
 
 

@@ -101,9 +101,11 @@ class CommFailure(RuntimeError):
     """A delivery stayed corrupt after every allowed retransmission.
 
     Attributes name the failing transfer precisely so a supervisor (or a
-    test) can pin the blame: ``op``, ``phase``, ``tag``, the 1-based
-    ``call_index`` among guarded calls, the ``ranks`` whose deliveries
-    mismatched, and the number of ``attempts`` made.
+    test) can pin the blame: ``op``, ``phase``, ``tag``, the ring
+    direction ``channel`` (``"fwd"`` / ``"rev"`` — attributing
+    bidirectional-ring failures per direction), the 1-based ``call_index``
+    among guarded calls, the ``ranks`` whose deliveries mismatched, and
+    the number of ``attempts`` made.
     """
 
     def __init__(
@@ -115,17 +117,19 @@ class CommFailure(RuntimeError):
         call_index: int,
         ranks: Sequence[int],
         attempts: int,
+        channel: str = "fwd",
     ):
         self.op = op
         self.phase = phase
         self.tag = tag
+        self.channel = channel
         self.call_index = call_index
         self.ranks = list(ranks)
         self.attempts = attempts
         super().__init__(
             f"unrecoverable delivery failure: op={op!r} phase={phase!r} "
-            f"tag={tag!r} call #{call_index}, ranks {self.ranks} still "
-            f"corrupt after {attempts} attempts"
+            f"tag={tag!r} channel={channel!r} call #{call_index}, ranks "
+            f"{self.ranks} still corrupt after {attempts} attempts"
         )
 
 
@@ -154,21 +158,36 @@ class RetryPolicy:
     max_retries: int = 3
     base_backoff_s: float = 0.05
     multiplier: float = 2.0
+    #: Exponent cap: ``multiplier ** attempt`` overflows float64 past
+    #: ``attempt ≈ 1024`` (for multiplier 2), so the backoff saturates at
+    #: ``base * multiplier ** max_exponent`` instead of raising
+    #: ``OverflowError`` under pathological retry counts.
+    max_exponent: int = 60
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
         if self.base_backoff_s < 0 or self.multiplier <= 0:
             raise ValueError("backoff parameters must be positive")
+        if self.max_exponent < 0:
+            raise ValueError(f"max_exponent must be >= 0, got {self.max_exponent}")
 
     def delay(self, attempt: int) -> float:
-        """Backoff before retransmission ``attempt`` (0-based)."""
-        return self.base_backoff_s * self.multiplier**attempt
+        """Backoff before retransmission ``attempt`` (0-based), saturating
+        at the :attr:`max_exponent` cap."""
+        return self.base_backoff_s * self.multiplier ** min(
+            attempt, self.max_exponent
+        )
 
 
 @dataclass
 class FaultEvent:
-    """One detected bad delivery (possibly later recovered)."""
+    """One detected bad delivery (possibly later recovered).
+
+    ``channel`` is the ring direction the damaged transfer rode
+    (``"fwd"`` / ``"rev"``), so bidirectional-ring faults are attributable
+    per direction.
+    """
 
     op: str
     phase: str
@@ -176,6 +195,7 @@ class FaultEvent:
     call_index: int
     ranks: list[int]
     attempt: int
+    channel: str = "fwd"
 
 
 @dataclass
@@ -216,15 +236,16 @@ class FaultMonitor:
         ranks: Sequence[int],
         backoff_s: float = 0.0,
         attempt: int = 0,
+        channel: str = "fwd",
     ) -> None:
         self.events.append(
             FaultEvent(op=op, phase=phase, tag=tag, call_index=call_index,
-                       ranks=list(ranks), attempt=attempt)
+                       ranks=list(ranks), attempt=attempt, channel=channel)
         )
         self.total_backoff_s += backoff_s
         if self.mirror_to_registry:
             reg = get_registry()
-            reg.counter("resilience.faults").inc(op=op)
+            reg.counter("resilience.faults").inc(op=op, channel=channel)
             reg.counter("resilience.backoff_seconds").inc(backoff_s)
         for r in ranks:
             count = self.faults_by_rank.get(r, 0) + 1
@@ -297,6 +318,7 @@ class ResilientCommunicator:
         tag: str,
         expected: list[object],
         issue: Callable[[], list[object]],
+        channel: str = "fwd",
     ) -> list[object]:
         """Issue a delivery op, verify per-rank checksums, retry on damage."""
         self.call_index += 1
@@ -320,10 +342,11 @@ class ResilientCommunicator:
                 self.monitor.record_fault(
                     op=op, phase=phase, tag=tag, call_index=idx, ranks=bad,
                     backoff_s=self.retry.delay(attempt), attempt=attempt,
+                    channel=channel,
                 )
             raise CommFailure(
                 op=op, phase=phase, tag=tag, call_index=idx, ranks=bad,
-                attempts=self.retry.max_retries + 1,
+                attempts=self.retry.max_retries + 1, channel=channel,
             )
 
     # --- guarded delivery ops ----------------------------------------------
@@ -339,6 +362,7 @@ class ResilientCommunicator:
             lambda: self.inner.ring_shift(
                 bufs, ring, phase=phase, tag=tag, reverse=reverse
             ),
+            channel="rev" if reverse else "fwd",
         )
 
     def exchange(self, bufs, dest_of, *, phase, tag="", channel="fwd"):
@@ -350,6 +374,7 @@ class ResilientCommunicator:
             lambda: self.inner.exchange(
                 bufs, dest_of, phase=phase, tag=tag, channel=channel
             ),
+            channel=channel,
         )
 
     def all_to_all(self, chunks, *, phase, tag=""):

@@ -24,6 +24,8 @@ import numpy as np
 
 from repro.attention import METHOD_REGISTRY
 from repro.attention.verify import MASKS, verify_method
+from repro.comm import FailureDetector, RankFailure
+from repro.resilience.rank_faults import RANK_FAULT_REGISTRY, make_rank_fault
 from repro.testing.faults import make_fault
 from repro.topology import a800_node, make_cluster
 
@@ -60,6 +62,11 @@ class FuzzCase:
     dtype: str = "float64"
     seed: int = 0
     ring_mode: str = "unidirectional"
+    #: rank-scoped fault injected under a FailureDetector: ``crash`` and
+    #: ``hang`` cases pass iff a RankFailure is raised (detection, not
+    #: deadlock); ``straggler`` cases pass iff the run is tolerated and
+    #: still verifies.  ``None`` = healthy run.
+    rank_failure: str | None = None
 
     @property
     def world_size(self) -> int:
@@ -93,6 +100,8 @@ class FuzzCase:
         ]
         if self.ring_mode != "unidirectional":
             parts.append(f"ring_mode={self.ring_mode}")
+        if self.rank_failure is not None:
+            parts.append(f"rank_failure={self.rank_failure}")
         return ",".join(parts)
 
     def repro_command(self, fault: str | None = None) -> str:
@@ -114,7 +123,7 @@ class FuzzCase:
                 raise ValueError(f"malformed case item {item!r}")
             key = key.strip()
             value = value.strip()
-            if key in ("method", "mask", "dtype", "ring_mode"):
+            if key in ("method", "mask", "dtype", "ring_mode", "rank_failure"):
                 kw[key] = value
             elif key in ("nodes", "gpn", "seq_len", "head_dim", "n_heads",
                          "n_kv_heads", "ulysses_degree", "block_size", "seed"):
@@ -154,6 +163,12 @@ class FuzzCase:
                 f"{self.method} does not take a ring_mode; only "
                 f"{', '.join(RING_MODE_METHODS)} do"
             )
+        if (self.rank_failure is not None
+                and self.rank_failure not in RANK_FAULT_REGISTRY):
+            raise ValueError(
+                f"unknown rank_failure {self.rank_failure!r}; expected one "
+                f"of {', '.join(sorted(RANK_FAULT_REGISTRY))}"
+            )
 
 
 def _divisors(n: int) -> list[int]:
@@ -189,11 +204,16 @@ def sample_case(rng: np.random.Generator, smoke: bool = False) -> FuzzCase:
     ring_mode = "unidirectional"
     if method in RING_MODE_METHODS and rng.random() < 1 / 3:
         ring_mode = "bidirectional"
+    rank_failure = None
+    if rng.random() < 1 / 6:
+        kinds = sorted(RANK_FAULT_REGISTRY)
+        rank_failure = kinds[rng.integers(len(kinds))]
     return FuzzCase(
         method=method, mask=mask, nodes=nodes, gpn=gpn, seq_len=seq_len,
         head_dim=head_dim, n_heads=n_heads, n_kv_heads=n_kv_heads,
         ulysses_degree=ulysses_degree, block_size=block_size, dtype=dtype,
         seed=int(rng.integers(0, 2**16)), ring_mode=ring_mode,
+        rank_failure=rank_failure,
     )
 
 
@@ -205,14 +225,34 @@ def check_case(
     ``fault`` names a :data:`~repro.testing.faults.FAULT_REGISTRY` entry to
     inject (targeting the first transfer by default).  A raised exception
     counts as a failure — a fuzzer must never hide crashes.
+
+    With ``case.rank_failure`` set, the case runs over a
+    :class:`~repro.comm.FailureDetector` wrapping the matching rank-fault
+    injector (victim rank 0, first call): ``crash`` / ``hang`` cases pass
+    iff detection raises :class:`~repro.comm.RankFailure` — a silent
+    completion means the detector missed a dead rank — while ``straggler``
+    cases must be *tolerated* (lease extensions, no failure) and still
+    verify bitwise.
     """
     case.validate()
+    if fault is not None and case.rank_failure is not None:
+        raise ValueError(
+            "fault and rank_failure are separate axes; inject one at a time"
+        )
     comm = None
     if fault is not None:
         topo = make_cluster(
             case.world_size, node=a800_node(gpus_per_node=case.gpn)
         )
         comm = make_fault(fault, topo, **fault_kwargs)
+    elif case.rank_failure is not None:
+        topo = make_cluster(
+            case.world_size, node=a800_node(gpus_per_node=case.gpn)
+        )
+        comm = FailureDetector(
+            make_rank_fault(case.rank_failure, topo, rank=0, at_call=1)
+        )
+    expect_detection = case.rank_failure in ("crash", "hang")
     try:
         report = verify_method(
             case.method,
@@ -229,8 +269,17 @@ def check_case(
             block_size=case.block_size,
             **case.method_kwargs(),
         )
+    except RankFailure as exc:
+        if expect_detection:
+            return True, f"detected: {exc}"
+        return False, f"raised {type(exc).__name__}: {exc}"
     except Exception as exc:  # crashes are failures, not noise
         return False, f"raised {type(exc).__name__}: {exc}"
+    if expect_detection:
+        return False, (
+            f"rank_failure={case.rank_failure} went undetected "
+            "(run completed silently)"
+        )
     return report.passed, report.summary()
 
 
@@ -275,6 +324,8 @@ def shrink_case(case: FuzzCase, fails, max_evals: int = 60) -> FuzzCase:
             yield replace(c, ulysses_degree=1, n_heads=min(c.n_heads, 2))
         if c.ring_mode != "unidirectional":
             yield replace(c, ring_mode="unidirectional")
+        if c.rank_failure is not None:
+            yield replace(c, rank_failure=None)
         if c.head_dim > 2:
             yield replace(c, head_dim=2)
         if c.block_size != 8:
@@ -340,18 +391,30 @@ def fuzz(
     smoke: bool = False,
     max_failures: int = 3,
     on_case=None,
+    rank_fault: str | None = None,
 ) -> FuzzResult:
     """Run up to ``budget`` random cases; shrink and record failures.
 
     ``fault`` injects the named fault into *every* case — the expected
     outcome is then a failure with a minimal repro, which is how the
-    harness proves the fuzzer actually detects sabotage.  ``on_case`` is an
+    harness proves the fuzzer actually detects sabotage.  ``rank_fault``
+    similarly forces ``rank_failure`` onto every case — crash / hang runs
+    must then *detect* (pass), so an all-green run is a detector smoke
+    across random configurations.  The two axes are mutually exclusive;
+    under ``fault``, randomly-sampled ``rank_failure`` values are stripped
+    so the message-fault path is measured in isolation.  ``on_case`` is an
     optional callback ``(index, case, passed)`` for progress reporting.
     """
+    if fault is not None and rank_fault is not None:
+        raise ValueError("fault and rank_fault are mutually exclusive")
     rng = np.random.default_rng(seed)
     result = FuzzResult()
     for i in range(budget):
         case = sample_case(rng, smoke=smoke)
+        if rank_fault is not None:
+            case = replace(case, rank_failure=rank_fault)
+        elif fault is not None and case.rank_failure is not None:
+            case = replace(case, rank_failure=None)
         passed, detail = check_case(case, fault=fault)
         result.cases_run += 1
         if on_case is not None:

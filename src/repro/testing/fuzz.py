@@ -18,6 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.resilience.rank_faults import RANK_FAULT_REGISTRY
 from repro.testing.differential import FuzzCase, check_case, fuzz
 from repro.testing.faults import FAULT_REGISTRY
 
@@ -37,6 +38,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--fault", choices=sorted(FAULT_REGISTRY),
                         help="inject this fault into every case; the run "
                              "must then fail with a repro")
+    parser.add_argument("--rank-fault", choices=sorted(RANK_FAULT_REGISTRY),
+                        help="inject this rank-scoped fault (under a "
+                             "FailureDetector) into every case; crash/hang "
+                             "must be detected for the run to pass")
     parser.add_argument("--case", metavar="SPEC",
                         help="run exactly one 'key=value,...' case instead "
                              "of sweeping")
@@ -56,7 +61,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[{i + 1:3d}/{args.budget}] {marker} {case.spec()}")
 
     result = fuzz(seed=args.seed, budget=args.budget, fault=args.fault,
-                  smoke=args.smoke, on_case=progress)
+                  smoke=args.smoke, on_case=progress,
+                  rank_fault=args.rank_fault)
     print(result.summary())
     return 0 if result.passed else 1
 

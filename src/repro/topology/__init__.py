@@ -19,7 +19,12 @@ from repro.topology.hardware import (
     a800_node,
     a100_node,
 )
-from repro.topology.cluster import ClusterTopology, LinkClass, make_cluster
+from repro.topology.cluster import (
+    ClusterTopology,
+    LinkClass,
+    make_cluster,
+    shrink_cluster,
+)
 
 __all__ = [
     "GPUSpec",
@@ -34,4 +39,5 @@ __all__ = [
     "ClusterTopology",
     "LinkClass",
     "make_cluster",
+    "shrink_cluster",
 ]

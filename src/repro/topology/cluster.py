@@ -139,6 +139,35 @@ class ClusterTopology:
         )
 
 
+def shrink_cluster(
+    topology: ClusterTopology, failed: "list[int] | tuple[int, ...] | set[int]"
+) -> ClusterTopology:
+    """Rebuild a topology over the survivors after rank failures.
+
+    Elastic recovery densifies the surviving ranks — identities are
+    reassigned ``0..G-k-1`` in the old rank order — and repacks them into
+    nodes: the new ``gpus_per_node`` is the largest divisor of the survivor
+    count that does not exceed the original node width, so every node stays
+    full (the invariant :func:`make_cluster` enforces) while the hardware
+    description (links, NICs, GPU spec) carries over unchanged.
+    """
+    dead = set(failed)
+    for r in dead:
+        topology._check_rank(r)
+    survivors = topology.world_size - len(dead)
+    if survivors < 1:
+        raise ValueError(
+            f"cannot shrink {topology.world_size} ranks by {len(dead)}: "
+            "no survivors"
+        )
+    width = topology.gpus_per_node
+    per_node = max(d for d in range(1, width + 1) if survivors % d == 0)
+    node = topology.node
+    if per_node != node.gpus_per_node:
+        node = dataclasses.replace(node, gpus_per_node=per_node)
+    return ClusterTopology(num_nodes=survivors // per_node, node=node)
+
+
 def make_cluster(num_gpus: int, gpus_per_node: int = 8, node: NodeSpec | None = None) -> ClusterTopology:
     """Build a cluster of ``num_gpus`` GPUs packed into full nodes.
 

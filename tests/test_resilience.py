@@ -391,3 +391,71 @@ class TestChaosRunner:
                            ring_mode="bidirectional")
         assert report.ok, report.summary()
         assert all(s.injections >= 1 for s in report.scenarios)
+
+
+class TestChannelContext:
+    """PR-6's bidirectional channel is part of the failure context: both
+    the structured ``CommFailure`` and ``FaultMonitor`` events name the
+    direction the damage rode on."""
+
+    def test_fault_event_records_channel(self):
+        monitor = FaultMonitor()
+        monitor.record_fault(op="ring_shift", phase="attn-fwd", tag="t",
+                             call_index=1, ranks=[2], attempt=1,
+                             channel="rev")
+        assert monitor.events[-1].channel == "rev"
+
+    def test_fault_event_channel_defaults_forward(self):
+        monitor = FaultMonitor()
+        monitor.record_fault(op="send", phase="p", tag="t", call_index=1,
+                             ranks=[0], attempt=1)
+        assert monitor.events[-1].channel == "fwd"
+
+    def test_commfailure_names_reverse_channel(self):
+        comm = ResilientCommunicator(
+            make_fault("corrupt", topo4(), at_call=None, channel="rev"),
+            retry=RetryPolicy(max_retries=1),
+        )
+        with pytest.raises(CommFailure) as exc_info:
+            verify_method(
+                "burst", num_gpus=4, gpus_per_node=4, seq_len=32, n_heads=4,
+                comm=comm, ring_mode="bidirectional",
+            )
+        failure = exc_info.value
+        assert failure.channel == "rev"
+        assert "channel='rev'" in str(failure)
+
+    def test_forward_commfailure_keeps_default_channel(self):
+        comm = ResilientCommunicator(
+            make_fault("corrupt", topo4(), at_call=None),
+            retry=RetryPolicy(max_retries=1),
+        )
+        with pytest.raises(CommFailure) as exc_info:
+            verify_method(
+                "burst", num_gpus=4, gpus_per_node=4, seq_len=32, n_heads=4,
+                comm=comm,
+            )
+        assert exc_info.value.channel == "fwd"
+
+
+class TestRetryPolicyOverflow:
+    """Unbounded ``multiplier ** attempt`` overflows float for adversarial
+    attempt counts; the exponent saturates at ``max_exponent`` instead."""
+
+    def test_delay_saturates_at_max_exponent(self):
+        policy = RetryPolicy(base_backoff_s=1.0, multiplier=2.0)
+        capped = policy.delay(policy.max_exponent)
+        assert policy.delay(policy.max_exponent + 1) == capped
+        assert policy.delay(10**6) == capped
+        assert np.isfinite(policy.delay(10**9))
+
+    def test_cap_is_pinned(self):
+        # 2**60 s is already beyond any real schedule; the pin documents
+        # the saturation point so a change is a deliberate decision.
+        assert RetryPolicy().max_exponent == 60
+        assert RetryPolicy(base_backoff_s=1.0, multiplier=2.0).delay(10**6) \
+            == 2.0**60
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_exponent=-1)
