@@ -35,7 +35,7 @@ from repro.kernels import (
     BiasTileCache,
     KernelWorkspace,
     TilePlan,
-    flash_backward_tiles,
+    get_backend,
 )
 from repro.masks import MaskPattern
 from repro.attention.ring import _resolve_tiles
@@ -69,7 +69,7 @@ def _tile_backward_qgrad(
     :func:`~repro.kernels.flash_attention_backward` minus the local ``D``
     recomputation, so it consumes tile plans and workspaces natively.
     """
-    return flash_backward_tiles(
+    return get_backend().flash_backward_tiles(
         q_j, k_i, v_i, lse_j, d_j, do_j,
         mask=tile, scale=scale, block_q=block_q, block_k=block_k,
         bias=bias, plan=plan, workspace=workspace,

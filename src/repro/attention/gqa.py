@@ -41,8 +41,7 @@ from repro.kernels import (
     KernelWorkspace,
     attention_reference,
     attention_reference_backward,
-    flash_attention_backward,
-    flash_attention_forward,
+    get_backend,
 )
 from repro.masks import MaskPattern
 
@@ -198,7 +197,7 @@ def gqa_ring_backward_kv(
             )
             if skip:
                 continue
-            dq_part, dk_part, dv_part = flash_attention_backward(
+            dq_part, dk_part, dv_part = get_backend().flash_backward(
                 qs[r], repeat_kv(k_j, groups), repeat_kv(v_j, groups),
                 os[r], lses[r], dos[r], mask=tile, scale=scale,
                 block_q=block_size, block_k=block_size,
@@ -279,7 +278,7 @@ def gqa_ring_forward(
             )
             if skip:
                 continue
-            o_part, lse_part = flash_attention_forward(
+            o_part, lse_part = get_backend().flash_forward(
                 qs[r], repeat_kv(k_j, groups), repeat_kv(v_j, groups),
                 mask=tile, scale=scale, block_q=block_size, block_k=block_size,
                 bias=bias, plan=plan, workspace=workspace,

@@ -33,8 +33,7 @@ from repro.kernels import (
     BiasTileCache,
     KernelWorkspace,
     TilePlan,
-    flash_attention_backward,
-    flash_attention_forward,
+    get_backend,
     planning_enabled,
     record_shard_skip,
 )
@@ -184,7 +183,7 @@ def ring_attention_forward(
             )
             if skip:
                 continue
-            o_part, lse_part = flash_attention_forward(
+            o_part, lse_part = get_backend().flash_forward(
                 qs[r], k_j, v_j, mask=tile, scale=scale,
                 block_q=block_size, block_k=block_size,
                 bias=bias, plan=plan, workspace=workspace,
@@ -276,7 +275,7 @@ def ring_attention_backward_kv(
             # Note: Algorithm 1 recomputes D_i = rowsum(dO_i * O_i) every
             # round on the device — the flash kernel below does exactly
             # that, which is the extra compute Algorithm 2 eliminates.
-            dq_part, dk_part, dv_part = flash_attention_backward(
+            dq_part, dk_part, dv_part = get_backend().flash_backward(
                 qs[r], k_j, v_j, os[r], lses[r], dos[r],
                 mask=tile, scale=scale,
                 block_q=block_size, block_k=block_size,

@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.attention.ring import _resolve_tiles
 from repro.comm import SimCommunicator
-from repro.kernels import KernelWorkspace, flash_attention_forward
+from repro.kernels import KernelWorkspace, get_backend
 from repro.kernels.softmax import NEG_INF, merge_states
 from repro.masks import MaskPattern
 from repro.obs.tracer import traced
@@ -103,7 +103,7 @@ def selective_attention_forward(
             )
             if skip:
                 continue
-            o_part, lse_part = flash_attention_forward(
+            o_part, lse_part = get_backend().flash_forward(
                 qs[i], k_j, v_j, mask=tile, scale=scale,
                 block_q=block_size, block_k=block_size,
                 plan=plan, workspace=workspace,

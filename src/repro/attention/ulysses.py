@@ -26,8 +26,7 @@ from repro.kernels import (
     BiasTileCache,
     KernelWorkspace,
     TilePlan,
-    flash_attention_backward,
-    flash_attention_forward,
+    get_backend,
     planning_enabled,
 )
 from repro.masks import MaskPattern
@@ -161,7 +160,7 @@ def ulysses_attention_forward(
     workspace = KernelWorkspace()
     o_h, lse_h = [], []
     for r in range(g):
-        o, lse = flash_attention_forward(
+        o, lse = get_backend().flash_forward(
             q_h[r], k_h[r], v_h[r], mask=mask_dense, scale=scale,
             block_q=block_size, block_k=block_size,
             bias=None if bias_slices is None else bias_slices[r],
@@ -214,7 +213,7 @@ def ulysses_attention_backward(
     dq_h, dk_h, dv_h = [], [], []
     workspace = KernelWorkspace()
     for r in range(g):
-        dq, dk, dv = flash_attention_backward(
+        dq, dk, dv = get_backend().flash_backward(
             ctx.q_h[r], ctx.k_h[r], ctx.v_h[r], ctx.o_h[r], ctx.lse_h[r],
             do_h[r], mask=ctx.mask_dense, scale=ctx.scale,
             block_q=ctx.block_size, block_k=ctx.block_size,

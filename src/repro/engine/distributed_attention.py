@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.attention.methods import DistributedAttention
 from repro.comm import SimCommunicator
-from repro.kernels import TilePlan, flash_attention_forward, planning_enabled
+from repro.kernels import TilePlan, get_backend, planning_enabled
 from repro.masks import MaskPattern
 from repro.nn.attention_fn import _attention_flops, _mask_pairs
 from repro.nn.checkpoint import (
@@ -94,7 +94,7 @@ class DistributedAttentionFn(Function):
 
             groups = (q.shape[0] // k.shape[0]) if q.ndim == 3 else 1
             dense, plan = _local_mask(mask, s, method.block_size)
-            o, lse = flash_attention_forward(
+            o, lse = get_backend().flash_forward(
                 q, repeat_kv(k, groups), repeat_kv(v, groups), mask=dense,
                 scale=scale, block_q=method.block_size,
                 block_k=method.block_size, plan=plan,
@@ -132,7 +132,7 @@ class DistributedAttentionFn(Function):
             groups = (q.shape[0] // k.shape[0]) if q.ndim == 3 else 1
             with trace_span("ckpt.recompute-front", phase="ckpt-recompute",
                             split=split, seq=s):
-                o_front, lse_front = flash_attention_forward(
+                o_front, lse_front = get_backend().flash_forward(
                     q[..., :split, :], repeat_kv(k, groups), repeat_kv(v, groups),
                     mask=dense, scale=scale,
                     block_q=method.block_size, block_k=method.block_size,
@@ -188,7 +188,6 @@ class DistributedAttentionFn(Function):
         q, k, v, o, lse = self.saved
         if self.local_fallback:
             from repro.attention.gqa import fold_kv_grad, repeat_kv
-            from repro.kernels import flash_attention_backward
 
             if self.fallback_plan is not None:
                 dense = None
@@ -197,7 +196,7 @@ class DistributedAttentionFn(Function):
                     self.mask.dense(q.shape[-2])
                     if self.mask is not None else None
                 )
-            dq, dk, dv = flash_attention_backward(
+            dq, dk, dv = get_backend().flash_backward(
                 q, repeat_kv(k, self.groups), repeat_kv(v, self.groups),
                 o, lse, grad_out, mask=dense, scale=self.scale,
                 block_q=self.method.block_size, block_k=self.method.block_size,

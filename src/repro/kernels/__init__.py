@@ -36,6 +36,28 @@ from repro.kernels.tileplan import (
     record_shard_skip,
     use_planning,
 )
+from repro.kernels.mlp import (
+    MIN_FULL_GEMM_OUT,
+    MIN_GEMM_ROWS,
+    chunk_bounds,
+    swiglu_dense_backward,
+    swiglu_dense_forward,
+    swiglu_mlp_backward,
+    swiglu_mlp_forward,
+    transposed_weights,
+    uses_chunking,
+)
+from repro.kernels.backend import (
+    KernelBackend,
+    ReferenceBackend,
+    ThreadedBackend,
+    available_backends,
+    current_backend_name,
+    get_backend,
+    register_backend,
+    set_backend,
+    use_backend,
+)
 
 __all__ = [
     "logsumexp",
@@ -58,4 +80,22 @@ __all__ = [
     "planning_enabled",
     "record_shard_skip",
     "use_planning",
+    "MIN_FULL_GEMM_OUT",
+    "MIN_GEMM_ROWS",
+    "chunk_bounds",
+    "swiglu_dense_backward",
+    "swiglu_dense_forward",
+    "swiglu_mlp_backward",
+    "swiglu_mlp_forward",
+    "transposed_weights",
+    "uses_chunking",
+    "KernelBackend",
+    "ReferenceBackend",
+    "ThreadedBackend",
+    "available_backends",
+    "current_backend_name",
+    "get_backend",
+    "register_backend",
+    "set_backend",
+    "use_backend",
 ]

@@ -74,19 +74,20 @@ def _validate_plan(
 
 def _resolve_subtile(plan: TilePlan, i: int, j: int, area: int):
     """Plan lookup for one sub-tile: ``(skip, mask_tile, bias_tile)``,
-    with the execution counters updated."""
+    with the execution counters updated (thread-safe via
+    :meth:`~repro.kernels.tileplan.TileCounters.add`)."""
     state = plan.states[i, j]
     if state == EMPTY:
-        counters.skipped_empty += 1
-        counters.skipped_pairs += area
+        counters.add("skipped_empty")
+        counters.add("skipped_pairs", area)
         return True, None, None
     if state == PARTIAL:
-        counters.computed_partial += 1
+        counters.add("computed_partial")
         m = plan.mask_tile(i, j)
     else:
-        counters.computed_full += 1
+        counters.add("computed_full")
         m = None
-    counters.computed_pairs += area
+    counters.add("computed_pairs", area)
     return False, m, plan.bias_tile(i, j)
 
 
@@ -114,7 +115,7 @@ def flash_attention_forward(
     One ``flash.fwd`` span covers the whole invocation (never per
     sub-tile — the inner loop stays bench-clean).
     """
-    span = trace_span("flash.fwd", phase="compute")
+    span = trace_span("flash.fwd", phase="compute", backend="reference")
     if span is NOOP_SPAN:
         return _forward_tiles(
             q, k, v, mask, scale, block_q, block_k, bias, plan, workspace
@@ -125,6 +126,80 @@ def flash_attention_forward(
         return _forward_tiles(
             q, k, v, mask, scale, block_q, block_k, bias, plan, workspace
         )
+
+
+def _forward_q_block(
+    qi: int,
+    q0: int,
+    q1: int,
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: np.ndarray | None,
+    scale: float,
+    block_k: int,
+    bias: np.ndarray | None,
+    plan: TilePlan | None,
+    ws: KernelWorkspace | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Inner key loop of the forward pass for one query block.
+
+    This is the unit the threaded backend fans out across workers: each
+    query block touches only its own ``(o_blk, lse_blk)`` running state,
+    so any scheduling of blocks produces bitwise-identical results.
+    """
+    sk = k.shape[-2]
+    q_blk = q[..., q0:q1, :]
+    o_blk = np.zeros(q_blk.shape[:-1] + (v.shape[-1],), dtype=np.float64)
+    lse_blk = np.full(q_blk.shape[:-1], NEG_INF, dtype=np.float64)
+    for ki, k0 in enumerate(range(0, sk, block_k)):
+        k1 = min(k0 + block_k, sk)
+        if plan is not None:
+            skip, m, b = _resolve_subtile(
+                plan, qi, ki, (q1 - q0) * (k1 - k0)
+            )
+            if skip:
+                continue
+        else:
+            m = _mask_tile(mask, q0, q1, k0, k1)
+            b = _mask_tile(bias, q0, q1, k0, k1)
+        k_t = np.swapaxes(k[..., k0:k1, :], -1, -2)
+        # Scratch reuse is safe only while the score tile keeps the
+        # kernel's own batch shape; an additive bias may broadcast it
+        # wider, so biased tiles take the allocating path.
+        reuse = ws is not None and b is None
+        if reuse:
+            s = ws.matmul(q_blk, k_t, "fwd-s")
+            s *= scale
+        else:
+            s = np.matmul(q_blk, k_t) * scale
+        if b is not None:
+            s = s + b
+        if m is not None:
+            if plan is None and not m.any():
+                continue  # tile contributes nothing; skip (sparse speedup)
+            s = np.where(m, s, NEG_INF)
+        tile_lse = logsumexp(s, axis=-1)
+        new_lse = merge_lse(lse_blk, tile_lse)
+        new_safe = np.where(np.isneginf(new_lse), 0.0, new_lse)
+        # Rescale the running accumulator and add this tile's weighted
+        # values; unnormalised tile weights are exp(s - new_lse).
+        w_old = np.where(
+            np.isneginf(lse_blk), 0.0, np.exp(lse_blk - new_safe)
+        )[..., None]
+        p = np.exp(s - new_safe[..., None])
+        if m is not None:
+            p = np.where(m, p, 0.0)
+        p = np.where(np.isneginf(new_lse)[..., None], 0.0, p)
+        v_blk = v[..., k0:k1, :]
+        if reuse and p.shape[:-1] + (v_blk.shape[-1],) == o_blk.shape:
+            pv = ws.matmul(p, v_blk, "fwd-pv")
+            o_blk *= w_old
+            o_blk += pv
+        else:
+            o_blk = w_old * o_blk + np.matmul(p, v_blk)
+        lse_blk = new_lse
+    return o_blk, lse_blk
 
 
 def _forward_tiles(
@@ -145,62 +220,14 @@ def _forward_tiles(
     _validate_plan(plan, sq, sk, mask, bias)
     if plan is not None:
         block_q, block_k = plan.block_q, plan.block_k
-    ws = workspace
     o = np.zeros(q.shape[:-1] + (v.shape[-1],), dtype=np.float64)
     lse = np.full(q.shape[:-1], NEG_INF, dtype=np.float64)
 
     for qi, q0 in enumerate(range(0, sq, block_q)):
         q1 = min(q0 + block_q, sq)
-        q_blk = q[..., q0:q1, :]
-        o_blk = np.zeros(q_blk.shape[:-1] + (v.shape[-1],), dtype=np.float64)
-        lse_blk = np.full(q_blk.shape[:-1], NEG_INF, dtype=np.float64)
-        for ki, k0 in enumerate(range(0, sk, block_k)):
-            k1 = min(k0 + block_k, sk)
-            if plan is not None:
-                skip, m, b = _resolve_subtile(
-                    plan, qi, ki, (q1 - q0) * (k1 - k0)
-                )
-                if skip:
-                    continue
-            else:
-                m = _mask_tile(mask, q0, q1, k0, k1)
-                b = _mask_tile(bias, q0, q1, k0, k1)
-            k_t = np.swapaxes(k[..., k0:k1, :], -1, -2)
-            # Scratch reuse is safe only while the score tile keeps the
-            # kernel's own batch shape; an additive bias may broadcast it
-            # wider, so biased tiles take the allocating path.
-            reuse = ws is not None and b is None
-            if reuse:
-                s = ws.matmul(q_blk, k_t, "fwd-s")
-                s *= scale
-            else:
-                s = np.matmul(q_blk, k_t) * scale
-            if b is not None:
-                s = s + b
-            if m is not None:
-                if plan is None and not m.any():
-                    continue  # tile contributes nothing; skip (sparse speedup)
-                s = np.where(m, s, NEG_INF)
-            tile_lse = logsumexp(s, axis=-1)
-            new_lse = merge_lse(lse_blk, tile_lse)
-            new_safe = np.where(np.isneginf(new_lse), 0.0, new_lse)
-            # Rescale the running accumulator and add this tile's weighted
-            # values; unnormalised tile weights are exp(s - new_lse).
-            w_old = np.where(
-                np.isneginf(lse_blk), 0.0, np.exp(lse_blk - new_safe)
-            )[..., None]
-            p = np.exp(s - new_safe[..., None])
-            if m is not None:
-                p = np.where(m, p, 0.0)
-            p = np.where(np.isneginf(new_lse)[..., None], 0.0, p)
-            v_blk = v[..., k0:k1, :]
-            if reuse and p.shape[:-1] + (v_blk.shape[-1],) == o_blk.shape:
-                pv = ws.matmul(p, v_blk, "fwd-pv")
-                o_blk *= w_old
-                o_blk += pv
-            else:
-                o_blk = w_old * o_blk + np.matmul(p, v_blk)
-            lse_blk = new_lse
+        o_blk, lse_blk = _forward_q_block(
+            qi, q0, q1, q, k, v, mask, scale, block_k, bias, plan, workspace
+        )
         o[..., q0:q1, :] = o_blk
         lse[..., q0:q1] = lse_blk
     return o, lse
@@ -260,7 +287,7 @@ def flash_backward_tiles(
 
     One ``flash.bwd`` span covers the whole invocation.
     """
-    span = trace_span("flash.bwd", phase="compute")
+    span = trace_span("flash.bwd", phase="compute", backend="reference")
     if span is NOOP_SPAN:
         return _backward_tiles(
             q, k, v, lse, d_stat, do, mask, scale, block_q, block_k,
@@ -273,6 +300,109 @@ def flash_backward_tiles(
             q, k, v, lse, d_stat, do, mask, scale, block_q, block_k,
             bias, plan, workspace,
         )
+
+
+def _backward_q_block(
+    qi: int,
+    q0: int,
+    q1: int,
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    lse: np.ndarray,
+    d_stat: np.ndarray,
+    do: np.ndarray,
+    mask: np.ndarray | None,
+    scale: float,
+    block_k: int,
+    bias: np.ndarray | None,
+    plan: TilePlan | None,
+    ws: KernelWorkspace | None,
+    dk: np.ndarray | None = None,
+    dv: np.ndarray | None = None,
+) -> tuple[np.ndarray, list]:
+    """Inner key loop of the backward pass for one query block.
+
+    With ``dk``/``dv`` given, per-tile key/value gradients accumulate in
+    place (the sequential path).  Without them, the tiles are returned as
+    ``[(k0, k1, dk_tile, dv_tile), ...]`` so a threaded caller can merge
+    them on one thread in ascending ``qi`` order — reproducing the
+    sequential accumulation order on every ``dk``/``dv`` slice exactly,
+    which is what keeps the threaded backend bitwise-identical.
+    Returned tiles are copies when they alias workspace scratch.
+    """
+    sk = k.shape[-2]
+    collect = dk is None
+    tiles: list = []
+    q_blk = q[..., q0:q1, :]
+    do_blk = do[..., q0:q1, :]
+    lse_blk = lse[..., q0:q1]
+    d_blk = d_stat[..., q0:q1]
+    lse_safe = np.where(np.isneginf(lse_blk), 0.0, lse_blk)[..., None]
+    dead = np.isneginf(lse_blk)[..., None]
+    dq_blk = np.zeros_like(q_blk)
+    for ki, k0 in enumerate(range(0, sk, block_k)):
+        k1 = min(k0 + block_k, sk)
+        if plan is not None:
+            skip, m, b = _resolve_subtile(
+                plan, qi, ki, (q1 - q0) * (k1 - k0)
+            )
+            if skip:
+                continue
+        else:
+            m = _mask_tile(mask, q0, q1, k0, k1)
+            if m is not None and not m.any():
+                continue
+            b = _mask_tile(bias, q0, q1, k0, k1)
+        k_blk = k[..., k0:k1, :]
+        v_blk = v[..., k0:k1, :]
+        reuse = ws is not None and b is None
+        if reuse:
+            s = ws.matmul(q_blk, np.swapaxes(k_blk, -1, -2), "bwd-s")
+            s *= scale
+        else:
+            s = np.matmul(q_blk, np.swapaxes(k_blk, -1, -2)) * scale
+        if b is not None:
+            s = s + b
+        if m is not None:
+            s = np.where(m, s, NEG_INF)
+        p = np.exp(s - lse_safe)
+        p = np.where(dead, 0.0, p)
+        if m is not None:
+            p = np.where(m, p, 0.0)
+        p_t = np.swapaxes(p, -1, -2)
+        if reuse:
+            dv_tile = ws.matmul(p_t, do_blk, "bwd-dv")
+            if collect:
+                dv_tile = dv_tile.copy()
+            else:
+                dv[..., k0:k1, :] += dv_tile
+            dp = ws.matmul(do_blk, np.swapaxes(v_blk, -1, -2), "bwd-dp")
+            np.subtract(dp, d_blk[..., None], out=dp)
+            dp *= p
+            ds = dp
+            dq_tile = ws.matmul(ds, k_blk, "bwd-dq")
+            dq_tile *= scale
+            dq_blk += dq_tile
+            dk_tile = ws.matmul(np.swapaxes(ds, -1, -2), q_blk, "bwd-dk")
+            dk_tile *= scale
+            if collect:
+                tiles.append((k0, k1, dk_tile.copy(), dv_tile))
+            else:
+                dk[..., k0:k1, :] += dk_tile
+        else:
+            dv_tile = np.matmul(p_t, do_blk)
+            if not collect:
+                dv[..., k0:k1, :] += dv_tile
+            dp = np.matmul(do_blk, np.swapaxes(v_blk, -1, -2))
+            ds = p * (dp - d_blk[..., None])
+            dq_blk += np.matmul(ds, k_blk) * scale
+            dk_tile = np.matmul(np.swapaxes(ds, -1, -2), q_blk) * scale
+            if collect:
+                tiles.append((k0, k1, dk_tile, dv_tile))
+            else:
+                dk[..., k0:k1, :] += dk_tile
+    return dq_blk, tiles
 
 
 def _backward_tiles(
@@ -296,70 +426,15 @@ def _backward_tiles(
     _validate_plan(plan, sq, sk, mask, bias)
     if plan is not None:
         block_q, block_k = plan.block_q, plan.block_k
-    ws = workspace
     dq = np.zeros_like(q)
     dk = np.zeros_like(k)
     dv = np.zeros_like(v)
 
     for qi, q0 in enumerate(range(0, sq, block_q)):
         q1 = min(q0 + block_q, sq)
-        q_blk = q[..., q0:q1, :]
-        do_blk = do[..., q0:q1, :]
-        lse_blk = lse[..., q0:q1]
-        d_blk = d_stat[..., q0:q1]
-        lse_safe = np.where(np.isneginf(lse_blk), 0.0, lse_blk)[..., None]
-        dead = np.isneginf(lse_blk)[..., None]
-        dq_blk = np.zeros_like(q_blk)
-        for ki, k0 in enumerate(range(0, sk, block_k)):
-            k1 = min(k0 + block_k, sk)
-            if plan is not None:
-                skip, m, b = _resolve_subtile(
-                    plan, qi, ki, (q1 - q0) * (k1 - k0)
-                )
-                if skip:
-                    continue
-            else:
-                m = _mask_tile(mask, q0, q1, k0, k1)
-                if m is not None and not m.any():
-                    continue
-                b = _mask_tile(bias, q0, q1, k0, k1)
-            k_blk = k[..., k0:k1, :]
-            v_blk = v[..., k0:k1, :]
-            reuse = ws is not None and b is None
-            if reuse:
-                s = ws.matmul(q_blk, np.swapaxes(k_blk, -1, -2), "bwd-s")
-                s *= scale
-            else:
-                s = np.matmul(q_blk, np.swapaxes(k_blk, -1, -2)) * scale
-            if b is not None:
-                s = s + b
-            if m is not None:
-                s = np.where(m, s, NEG_INF)
-            p = np.exp(s - lse_safe)
-            p = np.where(dead, 0.0, p)
-            if m is not None:
-                p = np.where(m, p, 0.0)
-            p_t = np.swapaxes(p, -1, -2)
-            if reuse:
-                dv_tile = ws.matmul(p_t, do_blk, "bwd-dv")
-                dv[..., k0:k1, :] += dv_tile
-                dp = ws.matmul(do_blk, np.swapaxes(v_blk, -1, -2), "bwd-dp")
-                np.subtract(dp, d_blk[..., None], out=dp)
-                dp *= p
-                ds = dp
-                dq_tile = ws.matmul(ds, k_blk, "bwd-dq")
-                dq_tile *= scale
-                dq_blk += dq_tile
-                dk_tile = ws.matmul(np.swapaxes(ds, -1, -2), q_blk, "bwd-dk")
-                dk_tile *= scale
-                dk[..., k0:k1, :] += dk_tile
-            else:
-                dv[..., k0:k1, :] += np.matmul(p_t, do_blk)
-                dp = np.matmul(do_blk, np.swapaxes(v_blk, -1, -2))
-                ds = p * (dp - d_blk[..., None])
-                dq_blk += np.matmul(ds, k_blk) * scale
-                dk[..., k0:k1, :] += (
-                    np.matmul(np.swapaxes(ds, -1, -2), q_blk) * scale
-                )
+        dq_blk, _ = _backward_q_block(
+            qi, q0, q1, q, k, v, lse, d_stat, do, mask, scale, block_k,
+            bias, plan, workspace, dk=dk, dv=dv,
+        )
         dq[..., q0:q1, :] = dq_blk
     return dq, dk, dv

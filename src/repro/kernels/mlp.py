@@ -1,0 +1,296 @@
+"""Blockwise SwiGLU MLP kernels (BPT-style sequence chunking).
+
+Blockwise Parallel Transformer (PAPERS.md, arXiv 2305.19370) observes that
+the FFN — not just attention — can be computed in sequence chunks, so the
+``(S, hidden)`` intermediates (gate, sigmoid, silu product, up, their
+elementwise product) never materialise at full length.  This module is the
+single-device kernel for that: :func:`swiglu_mlp_forward` /
+:func:`swiglu_mlp_backward` compute the LLaMA FFN
+
+    y = (silu(x @ Wg^T) * (x @ Wu^T)) @ Wd^T
+
+chunked over the sequence axis with ``chunk_size`` rows per chunk
+(``mlp_chunk_size`` in the module/config layer), **bitwise-identical** to
+the dense composed path in :mod:`repro.nn.ops` — forward values *and* all
+four gradients.  The backward rematerialises the per-chunk intermediates
+from ``x`` (the only saved activation) instead of keeping them alive from
+the forward, which is where the memory saving comes from; weight gradients
+are still produced by the same three full-size GEMMs as the dense path so
+their K-axis accumulation order (and hence every bit) matches.
+
+Bitwise identity across chunk sizes relies on two empirical properties of
+the BLAS backing ``np.matmul`` (pinned by probes in
+``tests/test_blockwise_mlp.py``):
+
+1. *Row stability* — with a **C-contiguous** right operand, the rows of a
+   row-chunked GEMM equal the corresponding rows of the full GEMM for any
+   chunk of >= 2 rows at any offset.  :func:`_rows_matmul` zero-pads any
+   chunk shorter than :data:`MIN_GEMM_ROWS` rows up to that floor (zero
+   rows cost one tiny GEMM row and change no result bits), which also
+   covers the unstable 1-row case.
+
+2. *View/copy agreement* — the dense reference multiplies by
+   **transposed views** (``x @ swapaxes(w, 0, 1)``), and a transposed
+   view takes a special small-output kernel with a different accumulation
+   order whenever the full product has <= ~1200 elements.  Above that,
+   the view and a contiguous copy of it produce identical bits (both pack
+   the operand into the same panels).  The chunked path therefore
+   multiplies by contiguous copies of the transposed weights — row-stable
+   per (1) — and only engages when every full product is safely in the
+   large-output regime (:data:`MIN_FULL_GEMM_OUT`).
+
+``chunk_size >= S`` degenerates to the literal dense code path, as do
+sequences shorter than :data:`MIN_GEMM_ROWS` and products small enough to
+hit the small-output kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Minimum GEMM row count for bitwise row-stability: chunks shorter than
+#: this are zero-padded up to it (see module docstring).
+MIN_GEMM_ROWS = 16
+
+#: Minimum full-product element count (``S * hidden`` and ``S * dim``) for
+#: the chunked path: below this the dense reference's transposed-view GEMMs
+#: take a small-output kernel whose bits chunking cannot reproduce.  The
+#: measured boundary is 1200 elements; 2048 leaves margin.
+MIN_FULL_GEMM_OUT = 2048
+
+
+def _rows_matmul(a_rows: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a_rows @ b``, bitwise-equal to the same rows of a full product."""
+    m = a_rows.shape[0]
+    if m >= MIN_GEMM_ROWS:
+        return np.matmul(a_rows, b)
+    pad = np.zeros((MIN_GEMM_ROWS, a_rows.shape[1]), dtype=a_rows.dtype)
+    pad[:m] = a_rows
+    return np.matmul(pad, b)[:m]
+
+
+def chunk_bounds(seq_len: int, chunk_size: int) -> list[tuple[int, int]]:
+    """Row ranges ``[(c0, c1), ...]`` covering the sequence axis."""
+    return [
+        (c0, min(c0 + chunk_size, seq_len))
+        for c0 in range(0, seq_len, chunk_size)
+    ]
+
+
+def uses_chunking(
+    x: np.ndarray,
+    wg: np.ndarray,
+    wd: np.ndarray,
+    chunk_size: int | None,
+) -> bool:
+    """Whether ``(x, chunk_size)`` takes the chunked path.
+
+    ``chunk_size >= S`` degenerates to dense by construction; ``S`` below
+    :data:`MIN_GEMM_ROWS` must stay dense because the dense GEMM itself
+    runs the small-M kernel whose bits chunking cannot reproduce, and any
+    full product below :data:`MIN_FULL_GEMM_OUT` elements must stay dense
+    because the dense transposed-view GEMM takes the small-output kernel.
+    """
+    if (
+        chunk_size is None
+        or x.ndim != 2
+        or chunk_size < 1
+        or x.shape[0] < MIN_GEMM_ROWS
+        or chunk_size >= x.shape[0]
+    ):
+        return False
+    s = x.shape[0]
+    hidden, dim = wg.shape[0], wd.shape[0]
+    return (
+        s * hidden >= MIN_FULL_GEMM_OUT and s * dim >= MIN_FULL_GEMM_OUT
+    )
+
+
+# --- dense reference (the exact op sequence of the composed autograd path) ----
+
+
+def swiglu_dense_forward(
+    x: np.ndarray, wg: np.ndarray, wu: np.ndarray, wd: np.ndarray
+) -> np.ndarray:
+    """Dense SwiGLU forward, op-for-op the composed ``repro.nn.ops`` path."""
+    g = np.matmul(x, np.swapaxes(wg, 0, 1))
+    sig = 1.0 / (1.0 + np.exp(-g))
+    act = g * sig
+    u = np.matmul(x, np.swapaxes(wu, 0, 1))
+    h = act * u
+    return np.matmul(h, np.swapaxes(wd, 0, 1))
+
+
+def swiglu_dense_backward(
+    x: np.ndarray,
+    wg: np.ndarray,
+    wu: np.ndarray,
+    wd: np.ndarray,
+    dy: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Dense SwiGLU backward: ``(dx, dwg, dwu, dwd)``.
+
+    Mirrors the composed graph's backward expression by expression
+    (``MatMul``/``Mul``/``SiLU`` in :mod:`repro.nn.ops`), so every
+    gradient is bitwise what the autograd engine produces.
+    """
+    g = np.matmul(x, np.swapaxes(wg, 0, 1))
+    sig = 1.0 / (1.0 + np.exp(-g))
+    act = g * sig
+    u = np.matmul(x, np.swapaxes(wu, 0, 1))
+    h = act * u
+    dh = np.matmul(dy, wd)
+    dwd = np.swapaxes(np.matmul(np.swapaxes(h, -1, -2), dy), 0, 1)
+    dact = dh * u
+    du = dh * act
+    dg = dact * (sig * (1.0 + g * (1.0 - sig)))
+    dx = np.matmul(dg, wg) + np.matmul(du, wu)
+    dwg = np.swapaxes(np.matmul(np.swapaxes(x, -1, -2), dg), 0, 1)
+    dwu = np.swapaxes(np.matmul(np.swapaxes(x, -1, -2), du), 0, 1)
+    return dx, dwg, dwu, dwd
+
+
+# --- chunked kernels ----------------------------------------------------------
+
+
+def transposed_weights(
+    wg: np.ndarray, wu: np.ndarray, wd: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Contiguous copies of ``(wg^T, wu^T, wd^T)`` for the chunked path.
+
+    Row-chunked GEMMs against a transposed *view* are not bitwise
+    row-stable (the small-output kernel); against these copies they are,
+    and in the large-output regime the copies produce the same bits as
+    the views the dense path uses (see module docstring).
+    """
+    return (
+        np.ascontiguousarray(np.swapaxes(wg, 0, 1)),
+        np.ascontiguousarray(np.swapaxes(wu, 0, 1)),
+        np.ascontiguousarray(np.swapaxes(wd, 0, 1)),
+    )
+
+
+def forward_chunk(
+    x: np.ndarray,
+    wg_t: np.ndarray,
+    wu_t: np.ndarray,
+    wd_t: np.ndarray,
+    c0: int,
+    c1: int,
+    y: np.ndarray,
+) -> None:
+    """One forward chunk: rows ``[c0, c1)`` of ``y``, written in place.
+
+    ``wg_t``/``wu_t``/``wd_t`` are the contiguous transposed weights from
+    :func:`transposed_weights`.  Touches only its own output rows, so
+    chunks may run on any thread in any order (the threaded backend fans
+    them out).
+    """
+    xc = x[c0:c1]
+    g = _rows_matmul(xc, wg_t)
+    sig = 1.0 / (1.0 + np.exp(-g))
+    act = g * sig
+    u = _rows_matmul(xc, wu_t)
+    h = act * u
+    y[c0:c1] = _rows_matmul(h, wd_t)
+
+
+def backward_chunk(
+    x: np.ndarray,
+    wg: np.ndarray,
+    wu: np.ndarray,
+    wd: np.ndarray,
+    wg_t: np.ndarray,
+    wu_t: np.ndarray,
+    dy: np.ndarray,
+    c0: int,
+    c1: int,
+    h_full: np.ndarray,
+    dg_full: np.ndarray,
+    du_full: np.ndarray,
+    dx: np.ndarray,
+) -> None:
+    """One backward chunk: recompute intermediates for rows ``[c0, c1)``
+    and fill those rows of ``h``/``dg``/``du``/``dx`` in place.
+
+    The data-gradient GEMMs (``dy @ wd``, ``dg @ wg``, ``du @ wu``)
+    multiply by the original C-contiguous weights exactly as the dense
+    path does; only the recomputed ``g``/``u`` need the transposed
+    copies.  The full ``h``/``dg``/``du`` buffers exist only transiently
+    inside :func:`swiglu_mlp_backward` so the weight gradients can be
+    formed by the same single GEMMs as the dense path (K-chunked
+    accumulation would change their bits); the forward keeps nothing but
+    ``x`` alive.
+    """
+    xc = x[c0:c1]
+    dyc = dy[c0:c1]
+    g = _rows_matmul(xc, wg_t)
+    sig = 1.0 / (1.0 + np.exp(-g))
+    act = g * sig
+    u = _rows_matmul(xc, wu_t)
+    h_full[c0:c1] = act * u
+    dh = _rows_matmul(dyc, wd)
+    dact = dh * u
+    du_c = dh * act
+    du_full[c0:c1] = du_c
+    dg_c = dact * (sig * (1.0 + g * (1.0 - sig)))
+    dg_full[c0:c1] = dg_c
+    dx[c0:c1] = _rows_matmul(dg_c, wg) + _rows_matmul(du_c, wu)
+
+
+def finalize_weight_grads(
+    x: np.ndarray,
+    dy: np.ndarray,
+    h_full: np.ndarray,
+    dg_full: np.ndarray,
+    du_full: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(dwg, dwu, dwd)`` from the assembled full intermediates — the
+    same three GEMMs (and hence the same bits) as the dense path."""
+    dwd = np.swapaxes(np.matmul(np.swapaxes(h_full, -1, -2), dy), 0, 1)
+    dwg = np.swapaxes(np.matmul(np.swapaxes(x, -1, -2), dg_full), 0, 1)
+    dwu = np.swapaxes(np.matmul(np.swapaxes(x, -1, -2), du_full), 0, 1)
+    return dwg, dwu, dwd
+
+
+def swiglu_mlp_forward(
+    x: np.ndarray,
+    wg: np.ndarray,
+    wu: np.ndarray,
+    wd: np.ndarray,
+    chunk_size: int | None = None,
+) -> np.ndarray:
+    """Blockwise SwiGLU forward; dense when chunking doesn't apply."""
+    if not uses_chunking(x, wg, wd, chunk_size):
+        return swiglu_dense_forward(x, wg, wu, wd)
+    wg_t, wu_t, wd_t = transposed_weights(wg, wu, wd)
+    y = np.empty((x.shape[0], wd.shape[0]), dtype=np.float64)
+    for c0, c1 in chunk_bounds(x.shape[0], chunk_size):
+        forward_chunk(x, wg_t, wu_t, wd_t, c0, c1, y)
+    return y
+
+
+def swiglu_mlp_backward(
+    x: np.ndarray,
+    wg: np.ndarray,
+    wu: np.ndarray,
+    wd: np.ndarray,
+    dy: np.ndarray,
+    chunk_size: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Blockwise SwiGLU backward: ``(dx, dwg, dwu, dwd)``."""
+    if not uses_chunking(x, wg, wd, chunk_size):
+        return swiglu_dense_backward(x, wg, wu, wd, dy)
+    s, hidden = x.shape[0], wg.shape[0]
+    wg_t, wu_t, _ = transposed_weights(wg, wu, wd)
+    h_full = np.empty((s, hidden), dtype=np.float64)
+    dg_full = np.empty((s, hidden), dtype=np.float64)
+    du_full = np.empty((s, hidden), dtype=np.float64)
+    dx = np.empty_like(x)
+    for c0, c1 in chunk_bounds(s, chunk_size):
+        backward_chunk(
+            x, wg, wu, wd, wg_t, wu_t, dy, c0, c1,
+            h_full, dg_full, du_full, dx,
+        )
+    dwg, dwu, dwd = finalize_weight_grads(x, dy, h_full, dg_full, du_full)
+    return dx, dwg, dwu, dwd

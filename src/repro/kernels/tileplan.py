@@ -36,6 +36,7 @@ the baseline.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -77,6 +78,14 @@ class TileCounters:
     objects (``tileplan.*`` in the given registry — the process-global
     one for the module singleton), so ``counters.computed_full += n``
     keeps working verbatim while ``repro.obs`` sees the same numbers.
+
+    Thread safety: the kernels account their work through :meth:`add`,
+    which writes straight to the backing counter on the main thread but
+    into a *thread-local* buffer inside a :meth:`deferred` scope.  The
+    threaded backend wraps each worker task in ``deferred()``, so
+    concurrent sub-tile tallies never race on ``Counter._value``; the
+    buffered deltas are merged under a lock when the scope exits.  The
+    ``counters.field += n`` property idiom remains main-thread-only.
     """
 
     def __init__(self, registry: MetricsRegistry | None = None):
@@ -85,6 +94,59 @@ class TileCounters:
         self._backing = {
             name: registry.counter(f"tileplan.{name}") for name in _TILE_FIELDS
         }
+        self._merge_lock = threading.Lock()
+        self._local = threading.local()
+
+    def add(self, name: str, n: int = 1) -> None:
+        """Account ``n`` into field ``name`` (thread-safe inside
+        ``deferred()`` scopes; direct counter write otherwise)."""
+        buf = getattr(self._local, "buf", None)
+        if buf is not None:
+            buf[name] += n
+        else:
+            self._backing[name]._value += n
+
+    @contextmanager
+    def deferred(self):
+        """Buffer this thread's increments; merge under a lock on exit.
+
+        Worker threads of the threaded kernel backend run their whole
+        task inside one ``deferred()`` scope — per-thread accumulation
+        merged on scope exit, so totals are exact regardless of how the
+        q-blocks were scheduled.
+        """
+        prev = getattr(self._local, "buf", None)
+        buf = dict.fromkeys(_TILE_FIELDS, 0)
+        self._local.buf = buf
+        try:
+            yield
+        finally:
+            self._local.buf = prev
+            with self._merge_lock:
+                for name, delta in buf.items():
+                    if delta:
+                        self._backing[name]._value += delta
+
+    @contextmanager
+    def backend_scope(self, backend: str):
+        """Attribute the tile work of the enclosed kernel invocation to
+        ``backend`` as labeled ``tileplan.*`` counter values.
+
+        Reads the unlabeled totals before/after and adds the delta under
+        a ``backend=<name>`` label, so ``repro.obs`` can break tile
+        counts down per backend while the unlabeled fast path stays a
+        single attribute add.  Only the invoking (main) thread may hold
+        a backend scope; worker threads merge into the totals before the
+        invocation returns, so their work is attributed correctly.
+        """
+        before = [self._backing[f]._value for f in _TILE_FIELDS]
+        try:
+            yield
+        finally:
+            for fname, prev in zip(_TILE_FIELDS, before):
+                delta = self._backing[fname]._value - prev
+                if delta:
+                    self._backing[fname].inc(delta, backend=backend)
 
     @property
     def computed(self) -> int:
@@ -181,21 +243,26 @@ class BiasTileCache:
 
     def __init__(self):
         self._tiles: dict = {}
+        # Serialises concurrent lookups from threaded-backend workers so
+        # built/reused tallies stay deterministic (first miss builds,
+        # everyone else reuses) and the dict is never mutated mid-read.
+        self._lock = threading.Lock()
 
     def get(
         self, mask: MaskPattern, q_idx: np.ndarray, k_idx: np.ndarray
     ) -> np.ndarray | None:
         key = mask.bias_cache_key(q_idx, k_idx)
         if key is None:
-            counters.bias_tiles_built += 1
+            counters.add("bias_tiles_built")
             return mask.bias_block(q_idx, k_idx)
-        tile = self._tiles.get(key)
-        if tile is None:
-            tile = mask.bias_block(q_idx, k_idx)
-            self._tiles[key] = tile
-            counters.bias_tiles_built += 1
-        else:
-            counters.bias_tiles_reused += 1
+        with self._lock:
+            tile = self._tiles.get(key)
+            if tile is None:
+                tile = mask.bias_block(q_idx, k_idx)
+                self._tiles[key] = tile
+                counters.add("bias_tiles_built")
+            else:
+                counters.add("bias_tiles_reused")
         return tile
 
     def __len__(self) -> int:
@@ -313,7 +380,9 @@ class TilePlan:
         """Boolean tile for a ``PARTIAL`` sub-tile (the only kind that
         ever materialises one).  Memoised so the backward pass (and any
         repeated traversal) reuses the forward's tiles instead of
-        re-evaluating the pattern."""
+        re-evaluating the pattern.  Safe under concurrent workers: a
+        duplicated miss builds the same deterministic tile twice and the
+        last dict write wins."""
         tile = self._mask_tiles.get((i, j))
         if tile is None:
             q0, q1 = self._q_bounds[i]
@@ -331,7 +400,7 @@ class TilePlan:
         if self.bias_cache is not None:
             tile = self.bias_cache.get(self.mask, q_sub, k_sub)
         else:
-            counters.bias_tiles_built += 1
+            counters.add("bias_tiles_built")
             tile = self.mask.bias_block(q_sub, k_sub)
         if tile is not None and self.head_slice is not None:
             tile = tile[self.head_slice]
@@ -389,8 +458,8 @@ def record_shard_skip(n_q: int, n_k: int, block_q: int, block_k: int) -> None:
     if its plan had classified every sub-tile empty."""
     n_qb = -(-n_q // block_q)
     n_kb = -(-n_k // block_k)
-    counters.skipped_empty += n_qb * n_kb
-    counters.skipped_pairs += n_q * n_k
+    counters.add("skipped_empty", n_qb * n_kb)
+    counters.add("skipped_pairs", n_q * n_k)
 
 
 # --- reusable kernel scratch --------------------------------------------------

@@ -23,8 +23,7 @@ from repro.kernels import (
     BiasTileCache,
     KernelWorkspace,
     TilePlan,
-    flash_attention_backward,
-    flash_attention_forward,
+    get_backend,
     planning_enabled,
 )
 from repro.masks import MaskPattern
@@ -136,7 +135,7 @@ class FlashAttentionFn(Function):
                 )
             with trace_span("ckpt.recompute-front", phase="ckpt-recompute",
                             split=split, seq=s):
-                o_front, lse_front = flash_attention_forward(
+                o_front, lse_front = get_backend().flash_forward(
                     q[..., :split, :], k, v, mask=front_mask, scale=scale,
                     block_q=block_size, block_k=block_size, bias=front_bias,
                     plan=front_plan, workspace=self.workspace,
@@ -147,7 +146,7 @@ class FlashAttentionFn(Function):
             o = np.concatenate([o_front, o_back], axis=-2)
             lse = np.concatenate([lse_front, lse_back], axis=-1)
         else:
-            o, lse = flash_attention_forward(
+            o, lse = get_backend().flash_forward(
                 q, k, v, mask=dense, scale=scale,
                 block_q=block_size, block_k=block_size, bias=dense_bias,
                 plan=plan, workspace=self.workspace,
@@ -178,7 +177,7 @@ class FlashAttentionFn(Function):
         from repro.attention.gqa import fold_kv_grad
 
         q, k, v, o, lse = self.saved
-        dq, dk, dv = flash_attention_backward(
+        dq, dk, dv = get_backend().flash_backward(
             q, k, v, o, lse, grad_out,
             mask=self.mask_dense, scale=self.scale,
             block_q=self.block_size, block_k=self.block_size,

@@ -54,10 +54,18 @@ class CheckpointPolicy:
 
     ``split_fraction`` only applies to ``sequence_level``: the fraction of
     the sequence (the front) that is recomputed rather than stored.
+
+    ``mlp_chunk_size`` is the FFN rematerialisation hook: when set,
+    :meth:`~repro.nn.modules.TransformerBlock.set_policy` switches the
+    block's FFN to the fused blockwise kernel with that chunk size, so the
+    ``(S, hidden)`` SwiGLU intermediates are recomputed chunk-by-chunk in
+    backward instead of being saved (orthogonal to, and composable with,
+    the layer-level modes above).
     """
 
     mode: CheckpointMode = CheckpointMode.NONE
     split_fraction: float = 0.5
+    mlp_chunk_size: int | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.split_fraction < 1.0:
@@ -65,10 +73,23 @@ class CheckpointPolicy:
                 raise ValueError(
                     f"split_fraction must be in (0, 1), got {self.split_fraction}"
                 )
+        if self.mlp_chunk_size is not None and self.mlp_chunk_size < 1:
+            raise ValueError(
+                f"mlp_chunk_size must be >= 1, got {self.mlp_chunk_size}"
+            )
 
     @classmethod
-    def parse(cls, spec: str, split_fraction: float = 0.5) -> "CheckpointPolicy":
-        return cls(mode=CheckpointMode(spec), split_fraction=split_fraction)
+    def parse(
+        cls,
+        spec: str,
+        split_fraction: float = 0.5,
+        mlp_chunk_size: int | None = None,
+    ) -> "CheckpointPolicy":
+        return cls(
+            mode=CheckpointMode(spec),
+            split_fraction=split_fraction,
+            mlp_chunk_size=mlp_chunk_size,
+        )
 
     @property
     def checkpoints_layer(self) -> bool:

@@ -1,0 +1,58 @@
+"""Blockwise SwiGLU FFN as a single autograd Function.
+
+The composed :class:`~repro.nn.modules.SwiGLU` path builds five graph
+nodes (two projection matmuls, silu, mul, down matmul) and saves every
+``(S, hidden)`` intermediate for backward.  :class:`BlockwiseMLPFn` fuses
+the whole FFN into one node that saves only ``x`` and the three weights —
+the intermediates are rematerialised chunk-by-chunk in backward by the
+active kernel backend (:meth:`~repro.kernels.KernelBackend.mlp_backward`),
+which is the Blockwise-Parallel-Transformer FFN trick.  Outputs and all
+four gradients are bitwise-identical to the composed path (pinned by
+``tests/test_blockwise_mlp.py``).
+
+``chunk_size`` is ``mlp_chunk_size`` at the module/config/policy layer;
+``None`` still fuses (one node, only ``x`` saved) but computes densely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import get_backend
+from repro.nn.function import Function
+from repro.nn.tensor import Tensor
+
+
+class BlockwiseMLPFn(Function):
+    """``y = silu(x @ Wg^T) * (x @ Wu^T) @ Wd^T`` as one graph node."""
+
+    def forward(
+        self,
+        x: np.ndarray,
+        w_gate: np.ndarray,
+        w_up: np.ndarray,
+        w_down: np.ndarray,
+        chunk_size: int | None = None,
+    ) -> np.ndarray:
+        self.chunk_size = chunk_size
+        self.save_for_backward(x, w_gate, w_up, w_down)
+        return get_backend().mlp_forward(
+            x, w_gate, w_up, w_down, chunk_size=chunk_size
+        )
+
+    def backward(self, grad_out: np.ndarray):
+        x, w_gate, w_up, w_down = self.saved
+        return get_backend().mlp_backward(
+            x, w_gate, w_up, w_down, grad_out, chunk_size=self.chunk_size
+        )
+
+
+def blockwise_mlp(
+    x: Tensor,
+    w_gate: Tensor,
+    w_up: Tensor,
+    w_down: Tensor,
+    chunk_size: int | None = None,
+) -> Tensor:
+    """Functional wrapper: fused SwiGLU FFN through the kernel backend."""
+    return BlockwiseMLPFn.apply(x, w_gate, w_up, w_down, chunk_size=chunk_size)

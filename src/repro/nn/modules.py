@@ -29,6 +29,7 @@ from repro.nn.checkpoint import (
 )
 from repro.nn.function import Function
 from repro.nn.memory import get_tracker
+from repro.nn.mlp_fn import blockwise_mlp
 from repro.nn.tensor import Tensor
 
 
@@ -131,14 +132,34 @@ class RMSNorm(Module):
 
 
 class SwiGLU(Module):
-    """LLaMA FFN: ``down(silu(gate(x)) * up(x))``."""
+    """LLaMA FFN: ``down(silu(gate(x)) * up(x))``.
 
-    def __init__(self, dim: int, hidden: int, rng: np.random.Generator):
+    With ``mlp_chunk_size`` set the whole FFN runs as one fused
+    :class:`~repro.nn.mlp_fn.BlockwiseMLPFn` node through the active
+    kernel backend: only ``x`` is saved for backward and the ``(S,
+    hidden)`` intermediates are rematerialised in sequence chunks of that
+    many rows (bitwise-identical to the composed path).  ``None`` keeps
+    the composed five-node graph.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        hidden: int,
+        rng: np.random.Generator,
+        mlp_chunk_size: int | None = None,
+    ):
         self.gate = Linear(dim, hidden, rng)
         self.up = Linear(dim, hidden, rng)
         self.down = Linear(hidden, dim, rng)
+        self.mlp_chunk_size = mlp_chunk_size
 
     def forward(self, x: Tensor) -> Tensor:
+        if self.mlp_chunk_size is not None:
+            return blockwise_mlp(
+                x, self.gate.weight, self.up.weight, self.down.weight,
+                chunk_size=self.mlp_chunk_size,
+            )
         return self.down(ops.mul(ops.silu(self.gate(x)), self.up(x)))
 
 
@@ -235,6 +256,7 @@ class TransformerBlock(Module):
         rope: bool = False,
         rope_theta: float = 10_000.0,
         dropout_p: float = 0.0,
+        mlp_chunk_size: int | None = None,
     ):
         if not 0.0 <= dropout_p < 1.0:
             raise ValueError(f"dropout_p must be in [0, 1), got {dropout_p}")
@@ -255,12 +277,14 @@ class TransformerBlock(Module):
             self.attn.rope = True
             self.attn.rope_theta = rope_theta
         self.norm2 = RMSNorm(dim)
-        self.ffn = SwiGLU(dim, ffn_hidden, rng)
+        self.ffn = SwiGLU(dim, ffn_hidden, rng, mlp_chunk_size=mlp_chunk_size)
         self.set_policy(policy or CheckpointPolicy())
 
     def set_policy(self, policy: CheckpointPolicy) -> None:
         self.policy = policy
         self.attn.policy = policy
+        if policy.mlp_chunk_size is not None:
+            self.ffn.mlp_chunk_size = policy.mlp_chunk_size
 
     def _body(self, x: Tensor) -> Tensor:
         attn_out = self.attn(self.norm1(x))
@@ -336,6 +360,9 @@ class TransformerConfig:
     #: overrides ``mask`` when set.
     layer_masks: list | None = None
     attn_block_size: int = 64
+    #: Fused blockwise FFN: rematerialise the SwiGLU intermediates in
+    #: sequence chunks of this many rows (``None`` = composed dense FFN).
+    mlp_chunk_size: int | None = None
     seed: int = 0
 
 
@@ -378,6 +405,7 @@ class TransformerLM(Module):
                 rope=(config.position_encoding == "rope"),
                 rope_theta=config.rope_theta,
                 dropout_p=config.dropout_p,
+                mlp_chunk_size=config.mlp_chunk_size,
             )
             for i in range(config.n_layers)
         ]

@@ -103,6 +103,38 @@ def time_by_phase(payload: dict | str) -> dict[str, float]:
     return {ph: interval_union(iv) for ph, iv in by_phase.items()}
 
 
+#: Span-name prefixes counted as kernel time in the backend breakdown.
+KERNEL_SPAN_PREFIXES = ("flash.", "mlp.")
+
+
+def kernel_time_by_backend(
+    payload: dict | str,
+) -> dict[str, dict[str, float]]:
+    """Wall microseconds of kernel spans, grouped by backend label.
+
+    Every ``flash.*`` / ``mlp.*`` span carries a ``backend`` attribute
+    (the kernel registry tags them at emit time); this unions their
+    intervals per ``(backend, span name)`` so a mixed-backend run shows
+    where each backend spent its time.  Returns ``{backend: {name: us,
+    ..., "total": us}}``.
+    """
+    payload = _as_payload(payload)
+    grouped: dict[str, dict[str, list[tuple[float, float]]]] = {}
+    for e in _x_events(payload):
+        name = e.get("name", "")
+        if not name.startswith(KERNEL_SPAN_PREFIXES):
+            continue
+        backend = e.get("args", {}).get("backend", "?")
+        iv = (e["ts"], e["ts"] + e["dur"])
+        per = grouped.setdefault(backend, {})
+        per.setdefault(name, []).append(iv)
+        per.setdefault("total", []).append(iv)
+    return {
+        backend: {name: interval_union(iv) for name, iv in per.items()}
+        for backend, per in grouped.items()
+    }
+
+
 def observed_ring_counts(payload: dict | str) -> dict[str, dict[str, int]]:
     """Count ``ring.transition`` spans per logical phase and link kind.
 
@@ -464,6 +496,19 @@ def render_report(payload: dict | str, metrics_records: list[dict] | None = None
             f"recompute fraction: {recompute / compute:.1%} of kernel "
             "compute time under recompute spans"
         )
+    kernel_times = kernel_time_by_backend(payload)
+    if kernel_times:
+        lines.append("")
+        lines.append("kernel time by backend (span-union wall time):")
+        for backend in sorted(kernel_times):
+            per = kernel_times[backend]
+            lines.append(
+                f"  {backend:<12} {per['total'] / 1e3:10.3f} ms total"
+            )
+            for name in sorted(k for k in per if k != "total"):
+                lines.append(
+                    f"    {name:<12} {per[name] / 1e3:10.3f} ms"
+                )
     counts = observed_ring_counts(payload)
     if counts:
         lines.append("")

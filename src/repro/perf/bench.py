@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -39,8 +40,7 @@ from repro.kernels import (
     KernelWorkspace,
     TilePlan,
     counters,
-    flash_attention_backward,
-    flash_attention_forward,
+    get_backend,
     use_planning,
 )
 from repro.masks import ALiBiMask, CausalMask, sliding_window_block_mask
@@ -102,17 +102,19 @@ def _time_kernel_pass(q, k, v, do, mask, case, *, planned: bool, repeats: int):
                 mask, idx, idx, blk, blk, bias_cache=BiasTileCache()
             )
             ws = KernelWorkspace()
-            o, lse = flash_attention_forward(q, k, v, plan=plan, workspace=ws)
-            grads = flash_attention_backward(
+            backend = get_backend()
+            o, lse = backend.flash_forward(q, k, v, plan=plan, workspace=ws)
+            grads = backend.flash_backward(
                 q, k, v, o, lse, do, plan=plan, workspace=ws
             )
         else:
             dense = mask.dense(s)
             bias = mask.bias_block(idx, idx)
-            o, lse = flash_attention_forward(
+            backend = get_backend()
+            o, lse = backend.flash_forward(
                 q, k, v, mask=dense, bias=bias, block_q=blk, block_k=blk
             )
-            grads = flash_attention_backward(
+            grads = backend.flash_backward(
                 q, k, v, o, lse, do, mask=dense, bias=bias,
                 block_q=blk, block_k=blk,
             )
@@ -154,6 +156,218 @@ def run_kernel_suite(smoke: bool, repeats: int) -> list[dict]:
             "max_abs_diff": max_diff,
         })
     return results
+
+
+# --- kernel-backend suite -----------------------------------------------------
+
+#: Required threaded speedup on the full-size causal flash forward — only
+#: enforced when the host actually has >= 4 cores and the pool >= 4
+#: workers (a 1-core runner cannot speed anything up; the JSON records
+#: the honest numbers either way).
+THREADED_SPEEDUP_FLOOR = 1.3
+THREADED_GATE_MIN_CPUS = 4
+
+
+def run_backends_suite(smoke: bool, repeats: int) -> list[dict]:
+    """Every registered backend on the full-size causal flash kernels.
+
+    Records per-backend forward / forward+backward wall time, the
+    forward speedup over ``reference``, and whether every output and
+    gradient is bitwise-equal to the reference backend's.
+    """
+    from repro.kernels import available_backends
+
+    s, d, h, blk = (256, 16, 2, 32) if smoke else (768, 32, 4, 64)
+    rng = np.random.default_rng(2)
+    q, k, v, do = (rng.normal(size=(h, s, d)) for _ in range(4))
+    mask = CausalMask()
+    idx = np.arange(s)
+    plan = TilePlan.build(mask, idx, idx, blk, blk)
+    outs: dict[str, tuple] = {}
+    times: dict[str, tuple[float, float]] = {}
+    for name in available_backends():
+        backend = get_backend(name)
+        best_f = best_fb = float("inf")
+        for _ in range(repeats):
+            ws = KernelWorkspace()
+            t0 = time.perf_counter()
+            o, lse = backend.flash_forward(q, k, v, plan=plan, workspace=ws)
+            fwd = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            grads = backend.flash_backward(
+                q, k, v, o, lse, do, plan=plan, workspace=ws
+            )
+            bwd = time.perf_counter() - t0
+            best_f = min(best_f, fwd)
+            best_fb = min(best_fb, fwd + bwd)
+        outs[name] = (o, lse, *grads)
+        times[name] = (best_f, best_fb)
+    ref = outs["reference"]
+    ref_fwd = times["reference"][0]
+    results = []
+    for name in available_backends():
+        backend = get_backend(name)
+        bitwise = all(np.array_equal(a, b) for a, b in zip(ref, outs[name]))
+        results.append({
+            "name": name,
+            "params": {"seq": s, "head_dim": d, "heads": h, "block": blk,
+                       "mask": "causal"},
+            "fwd_s": times[name][0],
+            "fwd_bwd_s": times[name][1],
+            "speedup_fwd": ref_fwd / times[name][0] if times[name][0] > 0
+            else float("inf"),
+            "bitwise_identical": bool(bitwise),
+            "workers": getattr(backend, "workers", 1),
+            "cpu_count": os.cpu_count() or 1,
+        })
+    return results
+
+
+def check_backend_results(
+    results: list[dict], baseline: list[dict] | None, *, smoke: bool
+) -> list[str]:
+    problems = []
+    for rec in results:
+        if not rec["bitwise_identical"]:
+            problems.append(
+                f"backends/{rec['name']}: outputs/grads not bitwise-equal "
+                "to the reference backend"
+            )
+        gated = (
+            rec["name"] == "threaded"
+            and not smoke
+            and rec["cpu_count"] >= THREADED_GATE_MIN_CPUS
+            and rec["workers"] >= THREADED_GATE_MIN_CPUS
+        )
+        if gated and rec["speedup_fwd"] < THREADED_SPEEDUP_FLOOR:
+            problems.append(
+                f"backends/threaded: forward speedup "
+                f"{rec['speedup_fwd']:.3f}x below the "
+                f"{THREADED_SPEEDUP_FLOOR}x floor "
+                f"({rec['cpu_count']} cpus, {rec['workers']} workers)"
+            )
+    return problems
+
+
+# --- blockwise-MLP suite ------------------------------------------------------
+
+
+def _mlp_cases(smoke: bool) -> list[dict]:
+    if smoke:
+        return [{"name": "chunk-64", "seq": 256, "dim": 32, "hidden": 128,
+                 "chunk": 64}]
+    return [
+        {"name": "chunk-32", "seq": 1024, "dim": 48, "hidden": 192,
+         "chunk": 32},
+        {"name": "chunk-128", "seq": 1024, "dim": 48, "hidden": 192,
+         "chunk": 128},
+    ]
+
+
+def run_mlp_suite(smoke: bool, repeats: int) -> list[dict]:
+    """Dense composed SwiGLU vs the fused blockwise FFN.
+
+    Gates bitwise identity of the output and all four gradients, times
+    both paths, and pins the persistent saved-bytes closed forms of
+    :mod:`repro.perf.memory` against the live memory tracker.
+    """
+    from repro.nn.memory import get_tracker
+    from repro.nn.modules import SwiGLU
+    from repro.nn.tensor import Tensor
+    from repro.perf.memory import (
+        swiglu_dense_saved_bytes,
+        swiglu_fused_saved_bytes,
+    )
+
+    results = []
+    rng = np.random.default_rng(3)
+    for case in _mlp_cases(smoke):
+        s, d, hid, chunk = (
+            case["seq"], case["dim"], case["hidden"], case["chunk"]
+        )
+        x_data = rng.normal(size=(s, d))
+        dy = rng.normal(size=(s, d))
+
+        def run(chunk_size):
+            tracker = get_tracker()
+            base = tracker.current_saved_bytes
+            module = SwiGLU(
+                d, hid, np.random.default_rng(7), mlp_chunk_size=chunk_size
+            )
+            best = float("inf")
+            for _ in range(repeats):
+                x = Tensor(x_data.copy(), requires_grad=True)
+                t0 = time.perf_counter()
+                y = module(x)
+                saved = tracker.current_saved_bytes - base
+                y.backward(dy)
+                best = min(best, time.perf_counter() - t0)
+            grads = (
+                x.grad, module.gate.weight.grad, module.up.weight.grad,
+                module.down.weight.grad,
+            )
+            return best, (y.data, *grads), saved
+
+        dense_s, dense_out, dense_saved = run(None)
+        chunk_s, chunk_out, chunk_saved = run(chunk)
+        max_diff = max(
+            float(np.max(np.abs(a - b)))
+            for a, b in zip(dense_out, chunk_out)
+        )
+        closed_ok = (
+            dense_saved == swiglu_dense_saved_bytes(s, d, hid)
+            and chunk_saved == swiglu_fused_saved_bytes(s, d, hid)
+        )
+        results.append({
+            "name": case["name"],
+            "params": {k_: v_ for k_, v_ in case.items() if k_ != "name"},
+            "dense_s": dense_s,
+            "blockwise_s": chunk_s,
+            "dense_saved_bytes": dense_saved,
+            "blockwise_saved_bytes": chunk_saved,
+            "saved_bytes_reduction": (
+                dense_saved / chunk_saved if chunk_saved else float("inf")
+            ),
+            "closed_form_ok": bool(closed_ok),
+            "max_abs_diff": max_diff,
+        })
+    return results
+
+
+def check_mlp_results(
+    results: list[dict], baseline: list[dict] | None
+) -> list[str]:
+    problems = []
+    for rec in results:
+        if rec["max_abs_diff"] != 0.0:
+            problems.append(
+                f"mlp/{rec['name']}: blockwise path deviates from the "
+                f"composed dense FFN by {rec['max_abs_diff']:.3e} "
+                "(must be bitwise-identical)"
+            )
+        if not rec["closed_form_ok"]:
+            problems.append(
+                f"mlp/{rec['name']}: tracker-measured saved bytes diverge "
+                "from the repro.perf.memory closed forms"
+            )
+        if rec["saved_bytes_reduction"] <= 1.0:
+            problems.append(
+                f"mlp/{rec['name']}: no peak-memory reduction "
+                f"({rec['saved_bytes_reduction']:.2f}x)"
+            )
+    if baseline is not None:
+        base_by_name = {r["name"]: r for r in baseline}
+        for rec in results:
+            base = base_by_name.get(rec["name"])
+            if base is None or base.get("params") != rec.get("params"):
+                continue
+            for key in ("dense_saved_bytes", "blockwise_saved_bytes"):
+                if rec[key] != base[key]:
+                    problems.append(
+                        f"mlp/{rec['name']}: {key} changed "
+                        f"{base[key]} -> {rec[key]} (deterministic count)"
+                    )
+    return problems
 
 
 # --- attention-method suite ---------------------------------------------------
@@ -241,6 +455,10 @@ def check_results(
     suite: str, *, smoke: bool = False,
 ) -> list[str]:
     """Return a list of human-readable regression messages (empty = pass)."""
+    if suite == "backends":
+        return check_backend_results(results, baseline, smoke=smoke)
+    if suite == "mlp":
+        return check_mlp_results(results, baseline)
     problems = []
     for rec in results:
         if rec["max_abs_diff"] > MAX_NUMERIC_DIFF:
@@ -289,21 +507,72 @@ def check_results(
     return problems
 
 
+_SCHEMAS = {
+    "backends": {
+        "fwd_s": "best wall-clock of the causal flash forward (s)",
+        "fwd_bwd_s": "best wall-clock of forward + backward (s)",
+        "speedup_fwd": "reference fwd_s / this backend's fwd_s",
+        "bitwise_identical": "o/lse/dq/dk/dv bitwise-equal to reference",
+        "workers": "thread-pool size (1 for sequential backends)",
+        "cpu_count": "os.cpu_count() on the benchmarking host",
+    },
+    "mlp": {
+        "dense_s": "best fwd+bwd wall-clock of the composed SwiGLU (s)",
+        "blockwise_s": "best fwd+bwd wall-clock of the fused blockwise FFN (s)",
+        "dense_saved_bytes": "tracker-measured persistent saves, composed path",
+        "blockwise_saved_bytes": "tracker-measured persistent saves, fused path",
+        "saved_bytes_reduction": "dense_saved_bytes / blockwise_saved_bytes",
+        "closed_form_ok": "saves match repro.perf.memory closed forms exactly",
+        "max_abs_diff": "max |dense - blockwise| over y and all four grads",
+    },
+}
+
+_DEFAULT_SCHEMA = {
+    "dense_s": "best wall-clock of the dense-mask baseline (s)",
+    "planned_s": "best wall-clock of the tile-planned path (s)",
+    "speedup": "dense_s / planned_s",
+    "tiles_computed": "sub-tiles executed by the planned path",
+    "tiles_skipped": "sub-tiles skipped as empty",
+    "skip_fraction": "tiles_skipped / (computed + skipped)",
+    "max_abs_diff": "max |dense - planned| over outputs and grads",
+}
+
+
 def _payload(results: list[dict], suite: str, smoke: bool) -> dict:
     return {
         "suite": suite,
         "smoke": smoke,
-        "schema": {
-            "dense_s": "best wall-clock of the dense-mask baseline (s)",
-            "planned_s": "best wall-clock of the tile-planned path (s)",
-            "speedup": "dense_s / planned_s",
-            "tiles_computed": "sub-tiles executed by the planned path",
-            "tiles_skipped": "sub-tiles skipped as empty",
-            "skip_fraction": "tiles_skipped / (computed + skipped)",
-            "max_abs_diff": "max |dense - planned| over outputs and grads",
-        },
+        "schema": _SCHEMAS.get(suite, _DEFAULT_SCHEMA),
         "results": results,
     }
+
+
+def _print_record(suite: str, rec: dict) -> None:
+    if suite == "backends":
+        print(
+            f"[{suite}] {rec['name']:<18} fwd {rec['fwd_s']*1e3:8.2f}ms"
+            f"  fwd+bwd {rec['fwd_bwd_s']*1e3:8.2f}ms"
+            f"  speedup {rec['speedup_fwd']:5.2f}x"
+            f"  workers {rec['workers']}"
+            f"  bitwise {'yes' if rec['bitwise_identical'] else 'NO'}"
+        )
+    elif suite == "mlp":
+        print(
+            f"[{suite}] {rec['name']:<18} dense {rec['dense_s']*1e3:8.2f}ms"
+            f"  blockwise {rec['blockwise_s']*1e3:8.2f}ms"
+            f"  saved {rec['dense_saved_bytes']:>9d}B ->"
+            f" {rec['blockwise_saved_bytes']:>7d}B"
+            f" ({rec['saved_bytes_reduction']:4.1f}x)"
+            f"  maxdiff {rec['max_abs_diff']:.2e}"
+        )
+    else:
+        print(
+            f"[{suite}] {rec['name']:<18} dense {rec['dense_s']*1e3:8.2f}ms"
+            f"  planned {rec['planned_s']*1e3:8.2f}ms"
+            f"  speedup {rec['speedup']:5.2f}x"
+            f"  skip {rec['skip_fraction']:6.1%}"
+            f"  maxdiff {rec['max_abs_diff']:.2e}"
+        )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -312,8 +581,11 @@ def main(argv: list[str] | None = None) -> int:
         description="kernel/attention microbenchmarks with a JSON "
         "regression gate",
     )
-    parser.add_argument("--suite", choices=["kernels", "attention", "all"],
-                        default="all")
+    parser.add_argument(
+        "--suite",
+        choices=["kernels", "attention", "backends", "mlp", "all"],
+        default="all",
+    )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--smoke", action="store_true",
                         help="small configs for CI")
@@ -332,6 +604,10 @@ def main(argv: list[str] | None = None) -> int:
         suites.append(("kernels", run_kernel_suite))
     if args.suite in ("attention", "all"):
         suites.append(("attention", run_attention_suite))
+    if args.suite in ("backends", "all"):
+        suites.append(("backends", run_backends_suite))
+    if args.suite in ("mlp", "all"):
+        suites.append(("mlp", run_mlp_suite))
 
     problems = []
     for suite, runner in suites:
@@ -349,13 +625,7 @@ def main(argv: list[str] | None = None) -> int:
             + "\n"
         )
         for rec in results:
-            print(
-                f"[{suite}] {rec['name']:<18} dense {rec['dense_s']*1e3:8.2f}ms"
-                f"  planned {rec['planned_s']*1e3:8.2f}ms"
-                f"  speedup {rec['speedup']:5.2f}x"
-                f"  skip {rec['skip_fraction']:6.1%}"
-                f"  maxdiff {rec['max_abs_diff']:.2e}"
-            )
+            _print_record(suite, rec)
         print(f"wrote {path}")
 
     if problems:

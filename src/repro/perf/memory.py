@@ -221,6 +221,61 @@ def logits_memory_bytes(seq_len: int, vocab: int, bytes_per_elem: int = BYTES_BF
     return float(seq_len) * vocab * bytes_per_elem
 
 
+#: The numpy engine's activations are float64.
+BYTES_F64 = 8
+
+
+def swiglu_dense_saved_bytes(
+    seq_len: int, dim: int, hidden: int, bytes_per_elem: int = BYTES_F64
+) -> int:
+    """Bytes the composed SwiGLU graph saves for backward.
+
+    The five-node graph registers: ``x`` twice (both projection matmuls),
+    the three weights once each, and five ``(S, hidden)`` intermediates —
+    ``g`` and its sigmoid (SiLU), the silu product and ``u`` (Mul), and
+    ``h`` (down matmul).  Pinned bit-for-bit against the live
+    :class:`~repro.nn.memory.MemoryTracker` by
+    ``tests/test_blockwise_mlp.py``.
+    """
+    return (
+        2 * seq_len * dim + 3 * dim * hidden + 5 * seq_len * hidden
+    ) * bytes_per_elem
+
+
+def swiglu_fused_saved_bytes(
+    seq_len: int, dim: int, hidden: int, bytes_per_elem: int = BYTES_F64
+) -> int:
+    """Bytes the fused blockwise FFN node saves: only ``x`` + weights.
+
+    Independent of ``mlp_chunk_size`` — chunking bounds the *transient*
+    backward working set (:func:`swiglu_chunked_transient_bytes`), while
+    fusion alone removes every ``(S, hidden)`` intermediate from the
+    persistent set.
+    """
+    return (seq_len * dim + 3 * dim * hidden) * bytes_per_elem
+
+
+def swiglu_chunked_transient_bytes(
+    seq_len: int,
+    dim: int,
+    hidden: int,
+    chunk_size: int | None,
+    bytes_per_elem: int = BYTES_F64,
+) -> int:
+    """Transient working-set model of the fused FFN backward.
+
+    The chunked backward rebuilds three full ``(S, hidden)`` buffers
+    (``h``/``dg``/``du`` — kept full-size so the weight-gradient GEMMs
+    accumulate in the dense path's exact order) plus roughly eight
+    chunk-height ``(chunk, hidden)`` intermediates live per chunk step
+    (``g``, ``sig``, ``act``, ``u``, ``dh``, ``dact``, ``dg_c``,
+    ``du_c``).  With ``chunk_size=None`` the dense backward materialises
+    those eight at full height instead.
+    """
+    chunk = seq_len if chunk_size is None else min(chunk_size, seq_len)
+    return (3 * seq_len * hidden + 8 * chunk * hidden) * bytes_per_elem
+
+
 def checkpoint_memory_curve(
     model: ModelSpec, seq_lens: list[int], world: int, policy: str,
     split_fraction: float = 0.5,

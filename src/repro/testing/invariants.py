@@ -318,12 +318,7 @@ def check_tile_plan_invariants(
     from silently computing skipped tiles (or skipping computed ones)
     unless the measured counts are pinned to independent arithmetic.
     """
-    from repro.kernels import (
-        TilePlan,
-        counters,
-        flash_attention_backward,
-        flash_attention_forward,
-    )
+    from repro.kernels import TilePlan, counters, get_backend
     from repro.masks import CausalMask, SlidingWindowMask, sliding_window_block_mask
     from repro.perf.cost import (
         block_sparse_tile_counts,
@@ -363,8 +358,9 @@ def check_tile_plan_invariants(
             f"{name}: plan census {census} == closed form {closed}",
         )
         counters.reset()
-        o, lse = flash_attention_forward(q, k, v, plan=plan)
-        flash_attention_backward(q, k, v, o, lse, do, plan=plan)
+        backend = get_backend()
+        o, lse = backend.flash_forward(q, k, v, plan=plan)
+        backend.flash_backward(q, k, v, o, lse, do, plan=plan)
         computed = closed["full"] + closed["partial"]
         report.record(
             counters.computed == 2 * computed

@@ -22,8 +22,7 @@ from repro.comm import SimCommunicator
 from repro.kernels import (
     KernelWorkspace,
     TilePlan,
-    flash_attention_backward,
-    flash_attention_forward,
+    get_backend,
     planning_enabled,
 )
 from repro.masks import MaskPattern
@@ -158,7 +157,7 @@ class TPAttentionFn(Function):
             q_r = (x @ wq_s[r].T).reshape(s, hh, hd).swapaxes(0, 1)
             k_r = (x @ wk_s[r].T).reshape(s, hh, hd).swapaxes(0, 1)
             v_r = (x @ wv_s[r].T).reshape(s, hh, hd).swapaxes(0, 1)
-            o_r, lse_r = flash_attention_forward(
+            o_r, lse_r = get_backend().flash_forward(
                 q_r, k_r, v_r, mask=dense, scale=scale,
                 block_q=block_size, block_k=block_size,
                 plan=plan, workspace=self.workspace,
@@ -185,7 +184,7 @@ class TPAttentionFn(Function):
             do_flat = dy @ wo_s[r]
             dwo.append(dy.T @ oflats[r])
             do_r = do_flat.reshape(s, hh, hd).swapaxes(0, 1)
-            dq_r, dk_r, dv_r = flash_attention_backward(
+            dq_r, dk_r, dv_r = get_backend().flash_backward(
                 qs[r], ks[r], vs[r], os_[r], lses[r], do_r,
                 mask=self.mask_dense, scale=scale,
                 block_q=block_size, block_k=block_size,
