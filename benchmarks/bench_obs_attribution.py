@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Overhead benchmark for the critical-path attribution engine.
+
+Traces one tiny training step per (method, ring mode) cell, then times
+:func:`repro.obs.critical.attribute_trace` over the resulting payload —
+the cost a post-mortem handler or the ``report --critical`` CLI pays on
+top of the trace itself.  The engine is pure-python interval sweeping
+plus one DES replay per attention pass, so the wall numbers here are
+informational; the hard gates are the conservation and pin checks, which
+this script also asserts (a broken gate exits non-zero, making it a
+usable smoke test: ``python benchmarks/bench_obs_attribution.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.engine import BurstEngine, EngineConfig
+from repro.engine.trainer import Trainer
+from repro.nn.checkpoint import CheckpointMode, CheckpointPolicy
+from repro.nn.modules import TransformerConfig
+from repro.obs import attribute_trace, spans_to_chrome_json, use_tracing
+from repro.topology import a800_node, make_cluster
+
+CELLS = [
+    ("burst", "unidirectional"),
+    ("burst", "bidirectional"),
+    ("megatron-cp", "unidirectional"),
+]
+
+
+def traced_payload(method: str, ring_mode: str, seq: int) -> dict:
+    topology = make_cluster(8, node=a800_node(gpus_per_node=4))
+    config = EngineConfig(
+        model=TransformerConfig(
+            vocab_size=128, dim=32, n_layers=2, n_heads=4,
+            ffn_hidden=64, max_seq_len=seq, attn_block_size=32,
+        ),
+        method=method,
+        method_kwargs=(
+            {"ring_mode": ring_mode} if ring_mode != "unidirectional" else {}
+        ),
+        checkpoint=CheckpointPolicy(CheckpointMode.SEQUENCE_LEVEL, 0.5),
+        head_impl="fused",
+    )
+    engine = BurstEngine(config, topology=topology)
+    rng = np.random.default_rng(0)
+    batch = (rng.integers(0, 128, seq), rng.integers(0, 128, seq))
+    with use_tracing() as tracer:
+        Trainer(engine=engine).fit([batch], steps=1)
+    return json.loads(spans_to_chrome_json(
+        tracer.spans(),
+        metadata={
+            "method": method, "world_size": 8, "gpus_per_node": 4,
+            "seq_len": seq, "hidden": 32, "n_heads": 4,
+            "steps": 1, "ring_mode": ring_mode,
+        },
+    ))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seq", type=int, default=128)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="attribution timing repeats (best-of)")
+    args = parser.parse_args(argv)
+
+    failed = False
+    print(f"{'cell':<28} {'spans':>6} {'trace_s':>8} {'attr_ms':>8}  gates")
+    for method, ring_mode in CELLS:
+        t0 = time.perf_counter()
+        payload = traced_payload(method, ring_mode, args.seq)
+        trace_s = time.perf_counter() - t0
+        n_spans = sum(
+            1 for e in payload["traceEvents"] if e.get("ph") == "X"
+        )
+        best = min(
+            _timed(lambda: attribute_trace(payload))
+            for _ in range(max(args.repeat, 1))
+        )
+        doc = attribute_trace(payload)
+        gates = (
+            f"conservation={'OK' if doc['conservation_ok'] else 'FAIL'} "
+            f"pins={'OK' if doc['pin_ok'] else 'FAIL'}"
+        )
+        failed = failed or not doc["ok"]
+        print(
+            f"{method + '/' + ring_mode:<28} {n_spans:>6} {trace_s:>8.2f} "
+            f"{best * 1e3:>8.2f}  {gates}"
+        )
+    return 1 if failed else 0
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

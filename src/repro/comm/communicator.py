@@ -16,6 +16,7 @@ numerics are computed directly.
 from __future__ import annotations
 
 import functools
+import itertools
 from typing import Sequence
 
 import numpy as np
@@ -26,12 +27,21 @@ from repro.topology import ClusterTopology, LinkClass
 from repro.utils.pytree import tree_flatten, tree_map, tree_unflatten
 
 
+#: Process-wide issue order of traced communicator ops; gives every
+#: ``comm.*`` span a monotonically increasing ``call`` attribute so the
+#: flow-event deriver (:mod:`repro.obs.flow`) can chain producer→consumer
+#: edges deterministically even when wall-clock timestamps tie.
+_CALL_SEQ = itertools.count(1)
+
+
 def _traced_op(op: str):
     """Wrap a communicator op in a ``comm.<op>`` span when tracing is on.
 
     The disabled path is one flag check inside :func:`trace_span`; when
     enabled, the span records the logical phase/tag plus the bytes and
-    hop count the op appended to the traffic log.
+    hop count the op appended to the traffic log, and the causal-DAG key
+    attributes (``op``, ``channel``, ``call``) the flow-event exporter
+    chains into Chrome-trace ``s``/``f`` arrows.
     """
 
     def deco(fn):
@@ -46,6 +56,11 @@ def _traced_op(op: str):
                 new = self.log.records[mark:]
                 span["transfers"] = len(new)
                 span["nbytes"] = sum(r.nbytes for r in new)
+                span["op"] = op
+                span["channel"] = kwargs.get("channel") or (
+                    "rev" if kwargs.get("reverse") else "fwd"
+                )
+                span["call"] = next(_CALL_SEQ)
             return out
 
         return wrapper

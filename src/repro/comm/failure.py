@@ -220,7 +220,8 @@ class FailureDetector:
     # --- the lease guard ----------------------------------------------------
 
     def _declare_dead(
-        self, rank: int, op: str, phase: str, kind: str, deadline: float
+        self, rank: int, op: str, phase: str, kind: str, deadline: float,
+        channel: str = "fwd",
     ) -> None:
         self.clock.advance(deadline)
         reg = get_registry()
@@ -229,8 +230,21 @@ class FailureDetector:
         with trace_span(
             "failure.detect", phase="resilience", rank=rank,
             op=op, kind=kind, step=self.step, deadline=deadline,
+            logical=phase, sim_wait_s=deadline, call=self.call_index,
+            channel=channel,
         ):
             pass
+        from repro.obs.flightrec import notify_failure
+
+        notify_failure(
+            {
+                "kind": kind, "type": "RankFailure", "rank": rank,
+                "op": op, "logical": phase, "step": self.step,
+                "deadline_s": deadline, "call_index": self.call_index,
+                "channel": channel,
+            },
+            detector=self,
+        )
         raise RankFailure(
             rank=rank, op=op, phase=phase, step=self.step,
             deadline=deadline, kind=kind, sim_time=self.clock.now,
@@ -238,7 +252,8 @@ class FailureDetector:
         )
 
     def _guard(
-        self, op: str, phase: str, participants: Sequence[int], issue
+        self, op: str, phase: str, participants: Sequence[int], issue,
+        channel: str = "fwd",
     ):
         """Issue the op, then apply the lease protocol to its timing."""
         self.call_index += 1
@@ -250,6 +265,7 @@ class FailureDetector:
             return out
         members = set(participants)
         completion = NOMINAL_OP_S
+        slowest: int | None = None
         for rank, delay in sorted(timing.delays.items()):
             if rank not in members:
                 continue
@@ -261,13 +277,14 @@ class FailureDetector:
                     self.lease.crash_notice_s if kind == "crash"
                     else self.lease.op_deadline_s
                 )
-                self._declare_dead(rank, op, phase, kind, deadline)
+                self._declare_dead(rank, op, phase, kind, deadline, channel)
             # Straggler: extend the lease while extensions remain.
             used = self.extensions.get(rank, 0)
             while delay > self.lease.lease_at(used):
                 if used >= self.lease.max_extensions:
                     self._declare_dead(
-                        rank, op, phase, kind, self.lease.lease_at(used)
+                        rank, op, phase, kind, self.lease.lease_at(used),
+                        channel,
                     )
                 used += 1
                 self.extensions[rank] = used
@@ -275,7 +292,25 @@ class FailureDetector:
                 get_registry().counter(
                     "resilience.rank_lease_extensions"
                 ).inc(rank=rank)
-            completion = max(completion, delay)
+                with trace_span(
+                    "lease.extend", phase="resilience", rank=rank,
+                    op=op, kind=kind, step=self.step, logical=phase,
+                    extensions=used, lease_s=self.lease.lease_at(used),
+                    channel=channel,
+                ):
+                    pass
+            if delay > completion:
+                completion = delay
+                slowest = rank
+        if completion > NOMINAL_OP_S:
+            # The whole collective waited on the slowest participant —
+            # simulated stall seconds the attribution charges as exposed.
+            with trace_span(
+                "lease.wait", phase="resilience", rank=slowest,
+                op=op, step=self.step, logical=phase, channel=channel,
+                sim_wait_s=completion - NOMINAL_OP_S,
+            ):
+                pass
         self.clock.advance(completion)
         return out
 
@@ -287,6 +322,7 @@ class FailureDetector:
             lambda: self.inner.ring_shift(
                 bufs, ring, phase=phase, tag=tag, reverse=reverse
             ),
+            "rev" if reverse else "fwd",
         )
 
     def exchange(self, bufs, dest_of, *, phase, tag="", channel="fwd"):
@@ -295,6 +331,7 @@ class FailureDetector:
             lambda: self.inner.exchange(
                 bufs, dest_of, phase=phase, tag=tag, channel=channel
             ),
+            channel,
         )
 
     def all_to_all(self, chunks, *, phase, tag=""):

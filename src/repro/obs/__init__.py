@@ -19,9 +19,21 @@ to compare the two:
   schema* as the DES exporter (:func:`repro.perf.trace.trace_to_chrome_json`)
   so Perfetto shows predicted and observed timelines side by side, and
   per-step JSONL metrics lines from the :class:`~repro.engine.Trainer`.
+* :mod:`repro.obs.flow` — producer→consumer flow events derived from
+  communicator spans, exported as Chrome-trace ``s``/``f`` pairs so
+  Perfetto draws the cross-rank causal arrows.
+* :mod:`repro.obs.critical` — the critical-path engine: per-step
+  per-rank attribution (compute / exposed comm / overlapped / idle with
+  a conservation check), straggler ranking, and exposed-comm pins
+  against the DES-predicted critical path and closed-form comm costs.
+* :mod:`repro.obs.flightrec` — a flight recorder (bounded span ring
+  buffer installed as a tracer sink) that failure handlers dump as a
+  validated ``postmortem/v1`` bundle.
 * ``python -m repro.obs`` — CLI: ``trace-step`` records a tiny traced
-  training step, ``report`` summarises a trace, ``diff`` checks the
-  observed trace against the DES-predicted schedule.
+  training step, ``report`` summarises a trace (``--critical`` appends
+  attribution, ``--json`` for machines), ``diff`` checks the observed
+  trace against the DES-predicted schedule, ``attribute`` runs the
+  critical-path engine and exits non-zero on a broken pin or straggler.
 """
 
 from repro.obs.tracer import (
@@ -47,23 +59,73 @@ from repro.obs.export import (
     validate_metrics_jsonl,
     write_step_metrics,
 )
+from repro.obs.flow import (
+    FlowEdge,
+    derive_flows,
+    flow_key,
+    validate_flow_events,
+)
+from repro.obs.report import (
+    diff_json,
+    diff_traces,
+    load_trace,
+    report_json,
+    validate_diff_json,
+    validate_report_json,
+)
+from repro.obs.critical import (
+    attribute_steps,
+    attribute_trace,
+    check_conservation,
+    critical_spans,
+    render_attribution,
+    straggler_ranking,
+    validate_attribution_json,
+)
+from repro.obs.flightrec import (
+    FlightRecorder,
+    get_active_recorder,
+    notify_failure,
+    validate_postmortem,
+)
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
+    "FlowEdge",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NOOP_SPAN",
     "Span",
     "Tracer",
+    "attribute_steps",
+    "attribute_trace",
+    "check_conservation",
+    "critical_spans",
+    "derive_flows",
+    "diff_json",
+    "diff_traces",
+    "flow_key",
+    "get_active_recorder",
     "get_registry",
     "get_tracer",
+    "load_trace",
+    "notify_failure",
+    "render_attribution",
+    "report_json",
     "spans_to_chrome_json",
+    "straggler_ranking",
     "trace_span",
     "traced",
     "tracing_enabled",
     "use_tracing",
+    "validate_attribution_json",
     "validate_chrome_trace",
+    "validate_diff_json",
+    "validate_flow_events",
     "validate_metrics_jsonl",
+    "validate_postmortem",
+    "validate_report_json",
     "write_step_metrics",
 ]

@@ -12,6 +12,16 @@
 * ``diff`` — structurally compare an observed trace against the
   DES-predicted schedule (see :func:`repro.obs.report.diff_traces`);
   exits non-zero when the ring structure deviates beyond tolerance.
+* ``attribute`` — run the critical-path engine
+  (:func:`repro.obs.critical.attribute_trace`): per-step per-rank
+  compute / exposed-comm / overlapped / idle attribution with a
+  conservation check, straggler ranking, and exposed-comm pins against
+  the DES-predicted critical path and the ``repro.perf.cost`` closed
+  forms.  Exits non-zero when conservation, a pin, or a straggler check
+  fails.
+
+``report`` and ``diff`` accept ``--json`` for machine-readable output
+(schemas ``obs-report/v1`` / ``obs-diff/v1``).
 """
 
 from __future__ import annotations
@@ -74,6 +84,9 @@ def _cmd_trace_step(args: argparse.Namespace) -> int:
             "world_size": topology.world_size,
             "gpus_per_node": topology.gpus_per_node,
             "seq_len": args.seq,
+            "hidden": 32,
+            "n_heads": 4,
+            "n_layers": 2,
             "steps": args.steps,
             "ring_mode": args.ring_mode,
         },
@@ -96,7 +109,15 @@ def _cmd_trace_step(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.obs.report import load_metrics, load_trace, render_report
+    import json
+
+    from repro.obs.report import (
+        load_metrics,
+        load_trace,
+        render_report,
+        report_json,
+        validate_report_json,
+    )
 
     try:
         payload = load_trace(args.trace)
@@ -112,12 +133,29 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 f"error: invalid metrics {args.metrics}: {exc}", file=sys.stderr
             )
             return 1
+    if args.json:
+        doc = report_json(payload, records, critical=args.critical)
+        validate_report_json(doc)
+        print(json.dumps(doc, indent=2))
+        return 0
     print(render_report(payload, records))
+    if args.critical:
+        from repro.obs.critical import attribute_trace, render_attribution
+
+        print()
+        print(render_attribution(attribute_trace(payload)))
     return 0
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:
-    from repro.obs.report import diff_traces, load_trace
+    import json
+
+    from repro.obs.report import (
+        diff_json,
+        diff_traces,
+        load_trace,
+        validate_diff_json,
+    )
 
     try:
         observed = load_trace(args.trace)
@@ -128,8 +166,40 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    print("\n".join(lines))
+    if args.json:
+        doc = diff_json(ok, lines, tolerance=args.tolerance)
+        validate_diff_json(doc)
+        print(json.dumps(doc, indent=2))
+    else:
+        print("\n".join(lines))
     return 0 if ok else 1
+
+
+def _cmd_attribute(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.critical import (
+        attribute_trace,
+        render_attribution,
+        validate_attribution_json,
+    )
+    from repro.obs.report import load_trace
+
+    try:
+        payload = load_trace(args.trace)
+        doc = attribute_trace(
+            payload, tolerance=args.tolerance, top=args.top
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    validate_attribution_json(doc)
+    if args.json is not None:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        print(f"wrote {args.json}")
+    print(render_attribution(doc))
+    return 0 if doc["ok"] else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -158,6 +228,14 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("report", help="summarize an observed trace")
     p.add_argument("trace")
     p.add_argument("--metrics", default=None)
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit a validated obs-report/v1 JSON document",
+    )
+    p.add_argument(
+        "--critical", action="store_true",
+        help="append critical-path attribution (per-step, per-rank)",
+    )
     p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser(
@@ -166,7 +244,25 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("trace")
     p.add_argument("--predicted", required=True)
     p.add_argument("--tolerance", type=float, default=0.05)
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit a validated obs-diff/v1 JSON document",
+    )
     p.set_defaults(fn=_cmd_diff)
+
+    p = sub.add_parser(
+        "attribute",
+        help="critical-path attribution: exposed comm vs DES + closed forms",
+    )
+    p.add_argument("trace")
+    p.add_argument("--tolerance", type=float, default=0.05)
+    p.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the obs-attribution/v1 document to PATH",
+    )
+    p.add_argument("--top", type=int, default=5,
+                   help="critical spans to list")
+    p.set_defaults(fn=_cmd_attribute)
 
     args = parser.parse_args(argv)
     return args.fn(args)

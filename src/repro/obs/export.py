@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 from typing import Any, Iterable, Sequence
 
+from repro.obs.flow import derive_flows, flow_chrome_events, validate_flow_events
 from repro.obs.tracer import Span
 
 __all__ = [
@@ -59,14 +60,19 @@ def spans_to_chrome_json(
 
     ``metadata`` (run config: method, world size, sequence length, ...)
     is embedded at the top level of the payload where Perfetto ignores it
-    but ``python -m repro.obs diff`` reads it back.
+    but ``python -m repro.obs diff`` reads it back.  Communicator spans
+    carrying flow-key attributes are additionally chained into ``s``/``f``
+    flow-event pairs (:mod:`repro.obs.flow`) so Perfetto draws the
+    producer→consumer arrows of the causal DAG.
     """
     events: list[dict[str, Any]] = []
     # One track per (phase, source thread); the first thread seen for a
     # phase owns the plain phase name, later threads get a suffix.
     rows: dict[tuple[str, int], tuple[int, str]] = {}
     threads_per_phase: dict[str, int] = {}
-    for sp in sorted(spans, key=lambda s: (s.ts, -s.dur)):
+    ordered = sorted(spans, key=lambda s: (s.ts, -s.dur))
+    placements: list[tuple[int, float, float]] = []
+    for sp in ordered:
         phase = sp.phase or "misc"
         key = (phase, sp.tid)
         if key not in rows:
@@ -79,17 +85,23 @@ def spans_to_chrome_json(
         if sp.rank is not None:
             args["rank"] = sp.rank
         args.update(sp.attrs)
+        ts_us = round(sp.ts * 1e6, 3)   # chrome traces use us
+        dur_us = round(sp.dur * 1e6, 3)
+        placements.append((tid, ts_us, dur_us))
         events.append(
             {
                 "name": sp.name,
                 "ph": "X",
-                "ts": round(sp.ts * 1e6, 3),   # chrome traces use us
-                "dur": round(sp.dur * 1e6, 3),
+                "ts": ts_us,
+                "dur": dur_us,
                 "pid": pid,
                 "tid": tid,
                 "args": args,
             }
         )
+    events.extend(
+        flow_chrome_events(derive_flows(ordered), placements, pid)
+    )
     for (_phase, _thread), (tid, name) in rows.items():
         events.append(
             {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
@@ -115,18 +127,24 @@ def validate_chrome_trace(payload: str | dict) -> dict[str, Any]:
     Checks the contract both exporters promise: a ``traceEvents`` list
     whose ``"X"`` events each carry ``name``/``ph``/``ts``/``dur``/
     ``pid``/``tid``, with spans properly nested (contained or disjoint)
-    per ``(pid, tid)`` track, and at least one duration event.  Returns
-    the parsed document on success.
+    per ``(pid, tid)`` track, and at least one duration event.  Flow
+    events (``"s"``/``"f"``) must pair up per
+    :func:`repro.obs.flow.validate_flow_events`.  Returns the parsed
+    document on success.
     """
     doc = json.loads(payload) if isinstance(payload, str) else payload
     if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
         raise ValueError("trace is not a {'traceEvents': [...]} document")
     duration_events: dict[tuple[int, int], list[dict]] = {}
+    flow_events: list[dict] = []
     n_x = 0
     for i, ev in enumerate(doc["traceEvents"]):
         if not isinstance(ev, dict) or "ph" not in ev:
             raise ValueError(f"event #{i} has no 'ph' field: {ev!r}")
         if ev["ph"] == "M":
+            continue
+        if ev["ph"] in ("s", "f"):
+            flow_events.append(ev)
             continue
         if ev["ph"] != "X":
             raise ValueError(f"event #{i}: unsupported phase {ev['ph']!r}")
@@ -139,6 +157,7 @@ def validate_chrome_trace(payload: str | dict) -> dict[str, Any]:
         duration_events.setdefault((ev["pid"], ev["tid"]), []).append(ev)
     if n_x == 0:
         raise ValueError("trace contains zero duration events")
+    validate_flow_events(flow_events)
     eps = 0.002  # us; absorbs the exporters' 3-decimal rounding
     for (pid, tid), evs in duration_events.items():
         evs.sort(key=lambda e: (e["ts"], -e["dur"]))

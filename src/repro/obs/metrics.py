@@ -17,6 +17,7 @@ lookups, no label tuple construction — unless they actually use labels.
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Any, Callable
 
@@ -87,16 +88,37 @@ class Gauge(Counter):
         self.inc(-amount, **labels)
 
 
+#: Samples retained per label set for percentile estimation; once full,
+#: further observations update only the streaming stats (deterministic —
+#: no reservoir randomness).
+HISTOGRAM_SAMPLE_CAP = 2048
+
+#: Percentiles reported in histogram snapshots.
+HISTOGRAM_PERCENTILES = (50, 95, 99)
+
+
+def _nearest_rank(sorted_samples: list[float], p: float) -> float:
+    """Nearest-rank percentile (exact for pinned test inputs)."""
+    n = len(sorted_samples)
+    return sorted_samples[max(0, math.ceil(p / 100.0 * n) - 1)]
+
+
 class Histogram:
-    """Streaming summary stats (count/total/min/max) per label set."""
+    """Streaming summary stats per label set, with bounded percentiles.
+
+    ``count``/``total``/``min``/``max`` are exact over every observation;
+    ``p50``/``p95``/``p99`` are nearest-rank percentiles over the first
+    :data:`HISTOGRAM_SAMPLE_CAP` observations per label set.
+    """
 
     kind = "histogram"
-    __slots__ = ("name", "help", "_stats")
+    __slots__ = ("name", "help", "_stats", "_samples")
 
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
         self._stats: dict[str, dict[str, float]] = {}
+        self._samples: dict[str, list[float]] = {}
 
     def observe(self, value: float, **labels: Any) -> None:
         key = _label_key(labels)
@@ -106,6 +128,7 @@ class Histogram:
                 "count": 1, "total": float(value),
                 "min": float(value), "max": float(value),
             }
+            self._samples[key] = [float(value)]
         else:
             s["count"] += 1
             s["total"] += value
@@ -113,17 +136,30 @@ class Histogram:
                 s["min"] = value
             if value > s["max"]:
                 s["max"] = value
+            samples = self._samples[key]
+            if len(samples) < HISTOGRAM_SAMPLE_CAP:
+                samples.append(float(value))
+
+    def _with_percentiles(self, key: str) -> dict[str, float]:
+        out = dict(self._stats.get(key, {}))
+        samples = self._samples.get(key)
+        if samples:
+            ordered = sorted(samples)
+            for p in HISTOGRAM_PERCENTILES:
+                out[f"p{p}"] = _nearest_rank(ordered, p)
+        return out
 
     def stats(self, **labels: Any) -> dict[str, float]:
-        return dict(self._stats.get(_label_key(labels), {}))
+        return self._with_percentiles(_label_key(labels))
 
     def reset(self) -> None:
         self._stats.clear()
+        self._samples.clear()
 
     def snapshot(self) -> dict[str, Any]:
         if set(self._stats) <= {""}:
-            return dict(self._stats.get("", {}))
-        return {k: dict(v) for k, v in sorted(self._stats.items())}
+            return self._with_percentiles("")
+        return {k: self._with_percentiles(k) for k in sorted(self._stats)}
 
 
 class MetricsRegistry:

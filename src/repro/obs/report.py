@@ -269,15 +269,6 @@ def predicted_bidirectional_pass_counts(
     }
 
 
-#: DES pass-construction flags per ring-family method (mirrors
-#: :func:`repro.perf.schedules.attention.attention_pass_time`).
-_METHOD_DES_FLAGS = {
-    "megatron-cp": dict(flat=True, serialize_gradients=True, alg2=False),
-    "loongtrain-double": dict(flat=False, serialize_gradients=True, alg2=False),
-    "burst": dict(flat=False, serialize_gradients=False, alg2=True),
-}
-
-
 def build_predicted_trace(
     method: str,
     topology,
@@ -297,89 +288,21 @@ def build_predicted_trace(
     ``intra-rev`` / ``inter-rev`` rows and the metadata additionally
     carries ``per_pass_by_phase`` — the per-direction counts the
     bidirectional diff gate checks.  Only the ring-family methods have a
-    DES pass graph here.
+    DES pass graph here (built by
+    :func:`repro.perf.criticalpath.attention_pass_sim`).
     """
-    from repro.perf.cost import bidirectional_step_split, matmul_time
-    from repro.perf.des import Simulator
-    from repro.perf.schedules.attention import (
-        ATTENTION_EFFICIENCY,
-        BACKWARD_FLOPS_FACTOR,
-        _bidirectional_ring,
-        _pipelined_ring,
-        _rev_transition_list,
-        _transition_durations,
-    )
+    from repro.perf.criticalpath import attention_pass_sim
 
-    if method not in _METHOD_DES_FLAGS:
-        raise ValueError(
-            f"no DES pass graph for method {method!r}; "
-            f"expected one of {sorted(_METHOD_DES_FLAGS)}"
-        )
-    flags = _METHOD_DES_FLAGS[method]
     g = topology.world_size
-    peak = topology.node.gpu.peak_flops
-    shard = workload.shard_bytes(g)
-    kv_shard = workload.kv_shard_bytes(g)
     bidirectional = ring_mode == "bidirectional"
-    t_f, rev_moves = bidirectional_step_split(g)
-
-    def _pass(prefix: str, backward: bool) -> Simulator:
-        flops = workload.fwd_flops_per_gpu(g)
-        if backward:
-            flops *= BACKWARD_FLOPS_FACTOR
-        step_compute = matmul_time(flops / g, peak, ATTENTION_EFFICIENCY)
-        sim = Simulator()
-
-        def durations(payload: float) -> list:
-            return _transition_durations(
-                topology, payload, flags["flat"], ring_window
-            )
-
-        if not backward:
-            kv = durations(2 * kv_shard)
-            if bidirectional:
-                _bidirectional_ring(
-                    sim, prefix, g, kv[:t_f],
-                    _rev_transition_list(kv, rev_moves), step_compute, False,
-                )
-            else:
-                _pipelined_ring(sim, prefix, kv, step_compute, False)
-        elif flags["alg2"]:
-            if bidirectional:
-                full = durations(shard * (3 + 2 / workload.hidden))
-                dq = durations(shard)
-                ro = durations(shard * (2 + 2 / workload.hidden))
-                _bidirectional_ring(
-                    sim, prefix, g, full[:t_f] + dq[t_f:],
-                    _rev_transition_list(ro, rev_moves), step_compute, True,
-                )
-            else:
-                payload = shard * (3 + 2 / workload.hidden)
-                _pipelined_ring(sim, prefix, durations(payload), step_compute, True)
-        else:
-            kv = durations(2 * kv_shard)
-            if bidirectional:
-                full = durations(4 * kv_shard)
-                _bidirectional_ring(
-                    sim, prefix, g, full[:t_f] + kv[t_f:],
-                    _rev_transition_list(kv, rev_moves), step_compute, True,
-                )
-            elif flags["serialize_gradients"]:
-                last = _pipelined_ring(sim, prefix, kv, step_compute, False)
-                # LoongTrain / Megatron drain the gradient buffers
-                # serially after compute (Table 1's +2(I·T_i + E·T_e)).
-                for t, (res, dur) in enumerate(kv):
-                    name = f"{prefix}g{t}"
-                    sim.add(name, dur, resources=(res,), deps=(last,))
-                    last = name
-            else:
-                both = [(res, 2 * dur) for res, dur in kv]
-                _pipelined_ring(sim, prefix, both, step_compute, True)
-        sim.run()
-        return sim
-
-    sims = [("attn-fwd/", _pass("attn-fwd/", False)),
-            ("attn-bwd/", _pass("attn-bwd/", True))]
+    sims = [
+        (prefix, attention_pass_sim(
+            method, topology, workload,
+            backward=backward, ring_mode=ring_mode,
+            ring_window=ring_window, prefix=prefix,
+        ))
+        for prefix, backward in (("attn-fwd/", False), ("attn-bwd/", True))
+    ]
     events: list[dict] = []
     rows: dict[str, int] = {}
     offset = 0.0
@@ -554,6 +477,122 @@ def load_metrics(path: str) -> list[dict]:
     with open(path) as fh:
         text = fh.read()
     return validate_metrics_jsonl(text)
+
+
+# --------------------------------------------------------------------------
+# machine-readable (JSON) summaries
+# --------------------------------------------------------------------------
+
+#: keys every ``report --json`` document must carry
+REPORT_JSON_KEYS = (
+    "schema",
+    "metadata",
+    "spans",
+    "time_by_phase_us",
+    "ring_transitions",
+)
+
+#: keys every ``diff --json`` document must carry
+DIFF_JSON_KEYS = ("schema", "ok", "tolerance", "lines")
+
+REPORT_JSON_SCHEMA = "obs-report/v1"
+DIFF_JSON_SCHEMA = "obs-diff/v1"
+
+
+def report_json(
+    payload: dict | str,
+    metrics_records: list[dict] | None = None,
+    *,
+    critical: bool = False,
+) -> dict:
+    """Machine-readable counterpart of :func:`render_report`.
+
+    With ``critical=True`` the document additionally carries the
+    per-step/per-rank attribution, straggler ranking and top-K critical
+    spans from :mod:`repro.obs.critical`.
+    """
+    payload = _as_payload(payload)
+    doc = {
+        "schema": REPORT_JSON_SCHEMA,
+        "metadata": dict(payload.get("metadata", {})),
+        "spans": len(_x_events(payload)),
+        "time_by_phase_us": time_by_phase(payload),
+        "kernel_time_by_backend_us": kernel_time_by_backend(payload),
+        "ring_transitions": observed_ring_counts(payload),
+        "metrics": summarize_metrics(metrics_records) if metrics_records else None,
+    }
+    if critical:
+        from repro.obs.critical import (
+            attribute_steps,
+            critical_spans,
+            straggler_ranking,
+        )
+
+        doc["attribution"] = {
+            "steps": attribute_steps(payload),
+            "stragglers": straggler_ranking(payload),
+            "critical_spans": critical_spans(payload),
+        }
+    return doc
+
+
+def validate_report_json(doc: str | dict) -> dict:
+    """Schema-check a ``report --json`` document; raise ``ValueError``."""
+    if isinstance(doc, str):
+        try:
+            doc = json.loads(doc)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"report JSON is not valid JSON: {exc}")
+    if not isinstance(doc, dict):
+        raise ValueError("report JSON is not an object")
+    missing = [k for k in REPORT_JSON_KEYS if k not in doc]
+    if missing:
+        raise ValueError(f"report JSON missing keys: {missing}")
+    if doc["schema"] != REPORT_JSON_SCHEMA:
+        raise ValueError(
+            f"report JSON has schema {doc['schema']!r}, "
+            f"expected {REPORT_JSON_SCHEMA!r}"
+        )
+    if not isinstance(doc["spans"], int) or doc["spans"] < 1:
+        raise ValueError("report JSON has no spans")
+    for key in ("time_by_phase_us", "ring_transitions"):
+        if not isinstance(doc[key], dict):
+            raise ValueError(f"report JSON {key!r} is not an object")
+    return doc
+
+
+def diff_json(
+    ok: bool, lines: list[str], *, tolerance: float
+) -> dict:
+    """Machine-readable counterpart of :func:`diff_traces` output."""
+    return {
+        "schema": DIFF_JSON_SCHEMA,
+        "ok": bool(ok),
+        "tolerance": tolerance,
+        "lines": list(lines),
+    }
+
+
+def validate_diff_json(doc: str | dict) -> dict:
+    """Schema-check a ``diff --json`` document; raise ``ValueError``."""
+    if isinstance(doc, str):
+        try:
+            doc = json.loads(doc)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"diff JSON is not valid JSON: {exc}")
+    if not isinstance(doc, dict):
+        raise ValueError("diff JSON is not an object")
+    missing = [k for k in DIFF_JSON_KEYS if k not in doc]
+    if missing:
+        raise ValueError(f"diff JSON missing keys: {missing}")
+    if doc["schema"] != DIFF_JSON_SCHEMA:
+        raise ValueError(
+            f"diff JSON has schema {doc['schema']!r}, "
+            f"expected {DIFF_JSON_SCHEMA!r}"
+        )
+    if not isinstance(doc["ok"], bool) or not isinstance(doc["lines"], list):
+        raise ValueError("diff JSON ok/lines have wrong types")
+    return doc
 
 
 # --------------------------------------------------------------------------

@@ -159,6 +159,10 @@ class Tracer:
         self._lock = threading.Lock()
         self._spans: list[Span] = []
         self._tls = threading.local()
+        #: extra per-span consumers (e.g. a flight recorder's ring buffer);
+        #: survive start()/stop() cycles so a recorder installed before a
+        #: traced run keeps seeing spans across restarts.
+        self._sinks: list = []
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -188,6 +192,20 @@ class Tracer:
     def _record(self, span: Span) -> None:
         with self._lock:
             self._spans.append(span)
+        for sink in self._sinks:
+            sink(span)
+
+    # -- sinks --------------------------------------------------------------
+
+    def add_sink(self, sink) -> None:
+        """Attach a callable invoked with every finished :class:`Span`."""
+        with self._lock:
+            if sink not in self._sinks:
+                self._sinks = self._sinks + [sink]
+
+    def remove_sink(self, sink) -> None:
+        with self._lock:
+            self._sinks = [s for s in self._sinks if s is not sink]
 
     # -- access -------------------------------------------------------------
 

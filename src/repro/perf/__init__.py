@@ -43,8 +43,20 @@ from repro.perf.schedules.end_to_end import (
     end_to_end_step,
 )
 from repro.perf.trace import trace_to_chrome_json
+from repro.perf.criticalpath import (
+    METHOD_DES_FLAGS,
+    attention_pass_sim,
+    closed_form_pass_comm,
+    predicted_critical_path,
+    summarize_sim,
+)
 
 __all__ = [
+    "METHOD_DES_FLAGS",
+    "attention_pass_sim",
+    "closed_form_pass_comm",
+    "predicted_critical_path",
+    "summarize_sim",
     "Resource",
     "Simulator",
     "Task",

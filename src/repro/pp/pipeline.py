@@ -17,6 +17,7 @@ from repro.comm import SimCommunicator
 from repro.nn.function import Function
 from repro.nn.modules import TransformerLM
 from repro.nn.tensor import Tensor
+from repro.obs.tracer import trace_span
 
 
 class PipelineBoundaryFn(Function):
@@ -27,12 +28,18 @@ class PipelineBoundaryFn(Function):
         if comm is None:
             raise ValueError("pipeline boundary requires comm=")
         self.comm, self.src, self.dst, self.phase = comm, src, dst, phase
-        return comm.send(src, dst, x, phase=f"{phase}-fwd", tag="activation")
+        with trace_span("pp.boundary", phase="pp", direction="fwd",
+                        src=src, dst=dst, channel="fwd"):
+            return comm.send(
+                src, dst, x, phase=f"{phase}-fwd", tag="activation"
+            )
 
     def backward(self, grad_out):
         # The gradient travels the reverse direction.
-        g = self.comm.send(self.dst, self.src, grad_out,
-                           phase=f"{self.phase}-bwd", tag="act-grad")
+        with trace_span("pp.boundary", phase="pp", direction="bwd",
+                        src=self.dst, dst=self.src, channel="rev"):
+            g = self.comm.send(self.dst, self.src, grad_out,
+                               phase=f"{self.phase}-bwd", tag="act-grad")
         return (g,)
 
 

@@ -353,6 +353,10 @@ class RankFaultResult:
     resume_step: int
     replay_match: bool
     traffic_match: bool
+    #: path of the dumped post-mortem bundle (None unless requested)
+    postmortem: str | None = None
+    #: bundle validated and names the victim on its critical path
+    postmortem_ok: bool = True
 
     @property
     def ok(self) -> bool:
@@ -362,6 +366,7 @@ class RankFaultResult:
             and self.world_after == self.world_before - 1
             and self.replay_match
             and self.traffic_match
+            and self.postmortem_ok
         )
 
     def summary(self) -> str:
@@ -373,6 +378,11 @@ class RankFaultResult:
             f"resume@{self.resume_step} "
             f"replay={'bitwise' if self.replay_match else 'DIVERGED'} "
             f"traffic={'match' if self.traffic_match else 'MISMATCH'}"
+            + (
+                f" postmortem={'valid' if self.postmortem_ok else 'INVALID'}"
+                if self.postmortem is not None or not self.postmortem_ok
+                else ""
+            )
         )
 
 
@@ -392,6 +402,7 @@ def run_rank_fault_scenario(
     steps: int = 4,
     fail_step: int = 2,
     victim: int = 1,
+    postmortem_dir: str | None = None,
 ) -> RankFaultResult:
     """One cell of the matrix: kill ``victim`` mid-run, recover, verify.
 
@@ -399,7 +410,11 @@ def run_rank_fault_scenario(
     of deadlocking, (2) *shrink* to the ``G - 1`` survivors, and (3)
     *replay* such that both the step history and the full post-resume
     traffic log are bitwise identical to a fresh survivors-only run resumed
-    from the same snapshot.
+    from the same snapshot.  With ``postmortem_dir`` set, the elastic run
+    executes under tracing with an installed
+    :class:`~repro.obs.FlightRecorder`, and the detection must addition-
+    ally have dumped a valid post-mortem bundle whose critical-path table
+    names the victim rank.
     """
     config = _make_elastic_config(method, ring_mode)
     batches = _make_batches(seed=0, seq=ELASTIC_SEQ)
@@ -417,6 +432,15 @@ def run_rank_fault_scenario(
         comms.append(detector)
         return detector
 
+    recorder = None
+    if postmortem_dir is not None:
+        from repro.obs import FlightRecorder
+
+        recorder = FlightRecorder(
+            out_dir=postmortem_dir,
+            prefix=f"{method}-{ring_mode}-{kind}-",
+        ).install()
+
     with tempfile.TemporaryDirectory() as tmpdir:
         runner = ElasticRunner(
             lambda topo, comm: BurstEngine(config, comm=comm),
@@ -424,9 +448,25 @@ def run_rank_fault_scenario(
             comm_factory=comm_factory,
             seed=seed,
         )
-        result = runner.run(batches, steps, _topology())
+        try:
+            if recorder is not None:
+                from repro.obs import use_tracing
+
+                with use_tracing():
+                    result = runner.run(batches, steps, _topology())
+            else:
+                result = runner.run(batches, steps, _topology())
+        finally:
+            if recorder is not None:
+                recorder.uninstall()
         detected = len(result.failures) == 1
         record = result.failures[0] if detected else None
+
+        postmortem = None
+        postmortem_ok = True
+        if recorder is not None:
+            postmortem = recorder.dumps[0] if recorder.dumps else None
+            postmortem_ok = _check_postmortem(postmortem, victim)
 
         replay_match = traffic_match = False
         if record is not None and record.resume_path is not None:
@@ -456,11 +496,29 @@ def run_rank_fault_scenario(
         resume_step=record.resume_step if record else -1,
         replay_match=replay_match,
         traffic_match=traffic_match,
+        postmortem=postmortem,
+        postmortem_ok=postmortem_ok,
+    )
+
+
+def _check_postmortem(path: str | None, victim: int) -> bool:
+    """Validate a dumped bundle and require the victim on its critical path."""
+    from repro.obs import validate_postmortem
+
+    if path is None:
+        return False
+    try:
+        with open(path) as fh:
+            bundle = validate_postmortem(fh.read())
+    except (OSError, ValueError):
+        return False
+    return any(
+        entry.get("rank") == victim for entry in bundle["critical_path"]
     )
 
 
 def run_rank_fault_matrix(
-    seed: int = 0, steps: int = 4
+    seed: int = 0, steps: int = 4, postmortem_dir: str | None = None
 ) -> list[RankFaultResult]:
     """The full {crash, hang, straggler} x method/ring-mode matrix."""
     from repro.resilience.rank_faults import RANK_FAULT_REGISTRY
@@ -474,6 +532,7 @@ def run_rank_fault_matrix(
                 run_rank_fault_scenario(
                     kind, method, ring_mode,
                     seed=seed, steps=steps, victim=victim,
+                    postmortem_dir=postmortem_dir,
                 )
             )
     return results
@@ -522,10 +581,21 @@ def main(argv: list[str] | None = None) -> int:
                         "replay bitwise")
     parser.add_argument("--report", metavar="PATH",
                         help="also write the results as JSON to PATH")
+    parser.add_argument("--postmortem-dir", metavar="DIR",
+                        help="with --rank-faults: run each cell under "
+                        "tracing with a flight recorder and dump a "
+                        "validated post-mortem bundle per detected failure "
+                        "into DIR")
     args = parser.parse_args(argv)
 
+    if args.postmortem_dir and not args.rank_faults:
+        parser.error("--postmortem-dir requires --rank-faults")
+
     if args.rank_faults:
-        results = run_rank_fault_matrix(seed=args.seed, steps=args.steps)
+        results = run_rank_fault_matrix(
+            seed=args.seed, steps=args.steps,
+            postmortem_dir=args.postmortem_dir,
+        )
         for r in results:
             print(r.summary())
         ok = all(r.ok for r in results)

@@ -344,6 +344,13 @@ class ResilientCommunicator:
                     backoff_s=self.retry.delay(attempt), attempt=attempt,
                     channel=channel,
                 )
+            from repro.obs.flightrec import notify_failure
+
+            notify_failure({
+                "kind": "delivery", "type": "CommFailure", "op": op,
+                "logical": phase, "tag": tag, "call_index": idx,
+                "ranks": bad, "channel": channel,
+            })
             raise CommFailure(
                 op=op, phase=phase, tag=tag, call_index=idx, ranks=bad,
                 attempts=self.retry.max_retries + 1, channel=channel,
@@ -417,6 +424,13 @@ class ResilientCommunicator:
                     op="send", phase=phase, tag=tag, call_index=idx, ranks=[dst],
                     backoff_s=self.retry.delay(attempt), attempt=attempt,
                 )
+            from repro.obs.flightrec import notify_failure
+
+            notify_failure({
+                "kind": "delivery", "type": "CommFailure", "op": "send",
+                "logical": phase, "tag": tag, "call_index": idx,
+                "ranks": [dst], "channel": "fwd",
+            })
             raise CommFailure(
                 op="send", phase=phase, tag=tag, call_index=idx, ranks=[dst],
                 attempts=self.retry.max_retries + 1,
