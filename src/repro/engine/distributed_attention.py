@@ -166,7 +166,9 @@ class DistributedAttentionFn(Function):
                     for attr in ("q_h", "k_h", "v_h", "o_h", "lse_h")
                     for arr in getattr(ctx, attr)
                 )
-                self._ctx_handle = get_tracker().register(nbytes)
+                self._ctx_handle = get_tracker().register(
+                    nbytes, site="attn.context"
+                )
 
         if (
             cache is not None

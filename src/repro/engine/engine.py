@@ -159,9 +159,11 @@ class BurstEngine:
         reset_tracker()
         mark = len(self.comm.log.records)
 
+        from repro.obs.mem import memory_scope
         from repro.obs.tracer import trace_span
 
-        with trace_span("train.step", phase="step", step=self.step_count):
+        with trace_span("train.step", phase="step", step=self.step_count), \
+                memory_scope(method=self.config.method, step=self.step_count):
             self.optimizer.zero_grad()
             loss = self.model(ids, targets)
             loss.backward()

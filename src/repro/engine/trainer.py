@@ -21,6 +21,7 @@ from repro.engine.engine import BurstEngine
 from repro.nn.schedule import ConstantLR, LRSchedule, clip_grad_norm
 from repro.nn.serialization import load_train_state, save_model, save_train_state
 from repro.nn.tensor import no_grad
+from repro.obs.mem import MemoryBudget, memory_scope, use_memory_budget
 from repro.obs.tracer import trace_span
 
 
@@ -69,6 +70,13 @@ class Trainer:
         numbers are aggregated from the exact slice of the engine's
         :class:`~repro.comm.TrafficLog` this step appended, so summing
         the lines reproduces the log's totals precisely.
+    memory_budget:
+        Optional :class:`~repro.obs.mem.MemoryBudget` watchdog installed
+        for the duration of :meth:`fit`.  The first allocation that
+        pushes the combined saved+transient watermark past the budget
+        dumps an ``oom/v1`` flight-recorder bundle and (if the budget
+        says so) aborts the run — the admission-control primitive the
+        serving scheduler consumes.
     """
 
     engine: BurstEngine
@@ -82,6 +90,7 @@ class Trainer:
     grad_accumulation: int = 1
     on_step_end: Callable[["Trainer", TrainRecord], None] | None = None
     metrics_path: str | None = None
+    memory_budget: MemoryBudget | None = None
     history: list[TrainRecord] = field(default_factory=list)
     best_eval: float = float("inf")
     micro: int = 0
@@ -95,6 +104,17 @@ class Trainer:
         return self.engine.model
 
     def fit(
+        self,
+        batches: Sequence[tuple[np.ndarray, np.ndarray]],
+        steps: int,
+        resume_from: str | None = None,
+    ) -> list[TrainRecord]:
+        if self.memory_budget is None:
+            return self._fit(batches, steps, resume_from)
+        with use_memory_budget(self.memory_budget):
+            return self._fit(batches, steps, resume_from)
+
+    def _fit(
         self,
         batches: Sequence[tuple[np.ndarray, np.ndarray]],
         steps: int,
@@ -132,7 +152,8 @@ class Trainer:
                 notify_step(step)
             comm_mark = len(engine.comm.log.records)
             tiles_mark = self._tile_snapshot()
-            with trace_span("train.step", phase="step", step=step):
+            with trace_span("train.step", phase="step", step=step), \
+                    memory_scope(method=engine.config.method, step=step):
                 lr = self.schedule.apply(engine.optimizer, step)
 
                 from repro.nn.memory import reset_tracker

@@ -413,14 +413,22 @@ class ThreadedBackend(KernelBackend):
                 return swiglu_mlp_forward(
                     x, w_gate, w_up, w_down, chunk_size=chunk_size
                 )
+            from repro.obs.mem import transient_scope
+
+            hidden = w_gate.shape[0]
             wg_t, wu_t, wd_t = transposed_weights(w_gate, w_up, w_down)
             y = np.empty((x.shape[0], w_down.shape[0]), dtype=np.float64)
             bounds = chunk_bounds(x.shape[0], chunk_size)
+
+            def run_fwd(c0, c1):
+                # Scope runs on the worker so concurrently-live chunk
+                # intermediates overlap on the transient watermark.
+                with transient_scope((c1 - c0) * hidden * 5 * 8,
+                                     site="mlp.chunked_fwd.chunk"):
+                    forward_chunk(x, wg_t, wu_t, wd_t, c0, c1, y)
+
             pool = self._executor()
-            futures = [
-                pool.submit(forward_chunk, x, wg_t, wu_t, wd_t, c0, c1, y)
-                for c0, c1 in bounds
-            ]
+            futures = [pool.submit(run_fwd, c0, c1) for c0, c1 in bounds]
             for fut in futures:
                 fut.result()
             return y
@@ -435,25 +443,35 @@ class ThreadedBackend(KernelBackend):
                 return swiglu_mlp_backward(
                     x, w_gate, w_up, w_down, dy, chunk_size=chunk_size
                 )
+            from repro.obs.mem import transient_scope
+
             s, hidden = x.shape[0], w_gate.shape[0]
             wg_t, wu_t, _ = transposed_weights(w_gate, w_up, w_down)
-            h_full = np.empty((s, hidden), dtype=np.float64)
-            dg_full = np.empty((s, hidden), dtype=np.float64)
-            du_full = np.empty((s, hidden), dtype=np.float64)
-            dx = np.empty_like(x)
-            pool = self._executor()
-            futures = [
-                pool.submit(
-                    backward_chunk, x, w_gate, w_up, w_down, wg_t, wu_t,
-                    dy, c0, c1, h_full, dg_full, du_full, dx,
+            with transient_scope(3 * s * hidden * 8,
+                                 site="mlp.chunked_bwd.full"):
+                h_full = np.empty((s, hidden), dtype=np.float64)
+                dg_full = np.empty((s, hidden), dtype=np.float64)
+                du_full = np.empty((s, hidden), dtype=np.float64)
+                dx = np.empty_like(x)
+
+                def run_bwd(c0, c1):
+                    with transient_scope((c1 - c0) * hidden * 8 * 8,
+                                         site="mlp.chunked_bwd.chunk"):
+                        backward_chunk(
+                            x, w_gate, w_up, w_down, wg_t, wu_t,
+                            dy, c0, c1, h_full, dg_full, du_full, dx,
+                        )
+
+                pool = self._executor()
+                futures = [
+                    pool.submit(run_bwd, c0, c1)
+                    for c0, c1 in chunk_bounds(s, chunk_size)
+                ]
+                for fut in futures:
+                    fut.result()
+                dwg, dwu, dwd = finalize_weight_grads(
+                    x, dy, h_full, dg_full, du_full
                 )
-                for c0, c1 in chunk_bounds(s, chunk_size)
-            ]
-            for fut in futures:
-                fut.result()
-            dwg, dwu, dwd = finalize_weight_grads(
-                x, dy, h_full, dg_full, du_full
-            )
             return dx, dwg, dwu, dwd
 
 

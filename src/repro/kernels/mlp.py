@@ -263,10 +263,16 @@ def swiglu_mlp_forward(
     """Blockwise SwiGLU forward; dense when chunking doesn't apply."""
     if not uses_chunking(x, wg, wd, chunk_size):
         return swiglu_dense_forward(x, wg, wu, wd)
+    from repro.obs.mem import transient_scope
+
+    hidden = wg.shape[0]
     wg_t, wu_t, wd_t = transposed_weights(wg, wu, wd)
     y = np.empty((x.shape[0], wd.shape[0]), dtype=np.float64)
     for c0, c1 in chunk_bounds(x.shape[0], chunk_size):
-        forward_chunk(x, wg_t, wu_t, wd_t, c0, c1, y)
+        # g, sig, act, u, h — the five (chunk, hidden) intermediates.
+        with transient_scope((c1 - c0) * hidden * 5 * 8,
+                             site="mlp.chunked_fwd.chunk"):
+            forward_chunk(x, wg_t, wu_t, wd_t, c0, c1, y)
     return y
 
 
@@ -281,16 +287,24 @@ def swiglu_mlp_backward(
     """Blockwise SwiGLU backward: ``(dx, dwg, dwu, dwd)``."""
     if not uses_chunking(x, wg, wd, chunk_size):
         return swiglu_dense_backward(x, wg, wu, wd, dy)
+    from repro.obs.mem import transient_scope
+
     s, hidden = x.shape[0], wg.shape[0]
     wg_t, wu_t, _ = transposed_weights(wg, wu, wd)
-    h_full = np.empty((s, hidden), dtype=np.float64)
-    dg_full = np.empty((s, hidden), dtype=np.float64)
-    du_full = np.empty((s, hidden), dtype=np.float64)
-    dx = np.empty_like(x)
-    for c0, c1 in chunk_bounds(s, chunk_size):
-        backward_chunk(
-            x, wg, wu, wd, wg_t, wu_t, dy, c0, c1,
-            h_full, dg_full, du_full, dx,
-        )
-    dwg, dwu, dwd = finalize_weight_grads(x, dy, h_full, dg_full, du_full)
+    # Accounted exactly as repro.perf.memory.swiglu_chunked_transient_bytes
+    # models it: the three (S, hidden) assembly buffers for the whole
+    # call, plus eight (chunk, hidden) intermediates per chunk.
+    with transient_scope(3 * s * hidden * 8, site="mlp.chunked_bwd.full"):
+        h_full = np.empty((s, hidden), dtype=np.float64)
+        dg_full = np.empty((s, hidden), dtype=np.float64)
+        du_full = np.empty((s, hidden), dtype=np.float64)
+        dx = np.empty_like(x)
+        for c0, c1 in chunk_bounds(s, chunk_size):
+            with transient_scope((c1 - c0) * hidden * 8 * 8,
+                                 site="mlp.chunked_bwd.chunk"):
+                backward_chunk(
+                    x, wg, wu, wd, wg_t, wu_t, dy, c0, c1,
+                    h_full, dg_full, du_full, dx,
+                )
+        dwg, dwu, dwd = finalize_weight_grads(x, dy, h_full, dg_full, du_full)
     return dx, dwg, dwu, dwd

@@ -484,6 +484,12 @@ class KernelWorkspace:
         if buf is None:
             buf = np.empty(shape, dtype=dtype)
             self._bufs[key] = buf
+            from repro.obs.mem import transient_alloc
+
+            # Account the miss on the transient watermark series; cached
+            # buffers live for the workspace's lifetime, so the handle is
+            # intentionally never freed (reset_transients() drops it).
+            transient_alloc(buf.nbytes, site=f"workspace.{name}")
         return buf
 
     def matmul(self, a: np.ndarray, b: np.ndarray, name: str) -> np.ndarray:

@@ -38,6 +38,7 @@ import numpy as np
 from repro.nn.function import Function
 from repro.nn.memory import get_tracker
 from repro.nn.tensor import Tensor, no_grad
+from repro.obs.mem import memory_phase
 from repro.obs.tracer import trace_span
 
 
@@ -145,7 +146,8 @@ class Checkpoint(Function):
         _in_recompute = True
         try:
             with trace_span("ckpt.replay", phase="ckpt-recompute"):
-                out = self.fn(*inputs)
+                with memory_phase("recompute"):
+                    out = self.fn(*inputs)
         finally:
             _in_recompute = prev
         out.backward(grad_out)
@@ -171,7 +173,9 @@ class AttentionOutputCache:
         self._counter = 0
 
     def put(self, key: int, o: np.ndarray, lse: np.ndarray) -> None:
-        handle = get_tracker().register(o.nbytes + lse.nbytes)
+        handle = get_tracker().register(
+            o.nbytes + lse.nbytes, site="attn.cache"
+        )
         self._store[key] = (o, lse, handle)
 
     def get(self, key: int) -> tuple[np.ndarray, np.ndarray] | None:

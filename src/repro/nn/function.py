@@ -43,7 +43,9 @@ class Function:
         self.saved = arrays
         if is_grad_enabled():
             nbytes = sum(a.nbytes for a in arrays if isinstance(a, np.ndarray))
-            self._mem_handle = get_tracker().register(nbytes)
+            self._mem_handle = get_tracker().register(
+                nbytes, site=type(self).__name__
+            )
 
     def release_saved(self) -> None:
         if self._mem_handle is not None:

@@ -30,7 +30,8 @@ from repro.nn.checkpoint import (
 from repro.nn.function import Function
 from repro.nn.memory import get_tracker
 from repro.nn.mlp_fn import blockwise_mlp
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_grad_enabled
+from repro.obs.mem import memory_scope
 
 
 class Module:
@@ -278,6 +279,7 @@ class TransformerBlock(Module):
             self.attn.rope_theta = rope_theta
         self.norm2 = RMSNorm(dim)
         self.ffn = SwiGLU(dim, ffn_hidden, rng, mlp_chunk_size=mlp_chunk_size)
+        self.layer_index: int | None = None  # set by TransformerLM
         self.set_policy(policy or CheckpointPolicy())
 
     def set_policy(self, policy: CheckpointPolicy) -> None:
@@ -306,8 +308,12 @@ class TransformerBlock(Module):
         seed = draw_seed() if (self.dropout_p > 0 and self.training) else None
 
         def seeded_body(x_: Tensor) -> Tensor:
-            with scoped_rng(seed):
-                return self._body(x_)
+            # The scope lives in the closure so a checkpoint *replay* in
+            # backward attributes its re-registered activations to this
+            # layer too, not just the original forward.
+            with memory_scope(layer=self.layer_index):
+                with scoped_rng(seed):
+                    return self._body(x_)
 
         if self.policy.checkpoints_layer:
             return checkpoint(seeded_body, x)
@@ -328,14 +334,28 @@ class FusedLMHeadLossFn(Function):
         fn = HEAD_IMPLEMENTATIONS[impl]
         res = fn(h, w, targets, reduction=reduction, **kw)
         self.save_for_backward(res.dh, res.dw)
-        self._resident = get_tracker().register(res.stats.peak_resident_bytes)
+        # Registering under no_grad would leak the handle: eval passes
+        # never run backward, so nothing would ever release it.
+        self._resident = None
+        if is_grad_enabled():
+            self._resident = get_tracker().register(
+                res.stats.peak_resident_bytes, site="head.resident"
+            )
         return np.asarray(res.loss)
 
     def backward(self, grad_out):
         dh, dw = self.saved
-        get_tracker().release(self._resident)
         g = float(grad_out)
         return g * dh, g * dw
+
+    def release_saved(self) -> None:
+        # Runs right after backward (and on graph drop), covering every
+        # path the base class covers — including requires_grad=False
+        # outputs released immediately by apply().
+        if self._resident is not None:
+            get_tracker().release(self._resident)
+            self._resident = None
+        super().release_saved()
 
 
 @dataclass
@@ -409,6 +429,8 @@ class TransformerLM(Module):
             )
             for i in range(config.n_layers)
         ]
+        for i, block in enumerate(self.blocks):
+            block.layer_index = i
         self.final_norm = RMSNorm(config.dim)
         self.lm_head = Linear(config.dim, config.vocab_size, rng)
 
@@ -427,9 +449,11 @@ class TransformerLM(Module):
             x = self.tok_emb(ids)  # positions enter via RoPE in attention
         else:
             x = ops.add(self.tok_emb(ids), self.pos_emb(np.arange(s)))
-        for block in self.blocks:
-            x = block(x)
-        return self.final_norm(x)
+        for i, block in enumerate(self.blocks):
+            with memory_scope(layer=i):
+                x = block(x)
+        with memory_scope(layer="final_norm"):
+            return self.final_norm(x)
 
     def forward(self, ids: np.ndarray, targets: np.ndarray) -> Tensor:
         h = self.hidden_states(ids)

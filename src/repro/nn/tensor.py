@@ -13,6 +13,8 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.obs.mem import memory_phase
+
 _grad_enabled: bool = True
 
 
@@ -137,44 +139,47 @@ class Tensor:
                         stack.append((inp, False))
 
         grads: dict[int, np.ndarray] = {id(self): grad}
-        for node in reversed(topo):
-            node_grad = grads.pop(id(node), None)
-            if node_grad is None:
-                continue
-            if node._ctx is None:
-                if node.requires_grad:
-                    node.grad = (
-                        node_grad if node.grad is None else node.grad + node_grad
-                    )
-                continue
-            fn, inputs = node._ctx
-            input_grads = fn.backward(node_grad)
-            fn.release_saved()
-            if not isinstance(input_grads, tuple):
-                input_grads = (input_grads,)
-            if len(input_grads) != len(inputs):
-                raise RuntimeError(
-                    f"{type(fn).__name__}.backward returned "
-                    f"{len(input_grads)} grads for {len(inputs)} inputs"
-                )
-            for inp, g in zip(inputs, input_grads):
-                if inp is None or g is None:
+        with memory_phase("bwd"):
+            for node in reversed(topo):
+                node_grad = grads.pop(id(node), None)
+                if node_grad is None:
                     continue
-                if g.shape != inp.data.shape:
+                if node._ctx is None:
+                    if node.requires_grad:
+                        node.grad = (
+                            node_grad
+                            if node.grad is None
+                            else node.grad + node_grad
+                        )
+                    continue
+                fn, inputs = node._ctx
+                input_grads = fn.backward(node_grad)
+                fn.release_saved()
+                if not isinstance(input_grads, tuple):
+                    input_grads = (input_grads,)
+                if len(input_grads) != len(inputs):
                     raise RuntimeError(
-                        f"{type(fn).__name__} produced grad {g.shape} for "
-                        f"input {inp.data.shape}"
+                        f"{type(fn).__name__}.backward returned "
+                        f"{len(input_grads)} grads for {len(inputs)} inputs"
                     )
-                if inp._ctx is not None or inp.requires_grad:
-                    key = id(inp)
-                    if key in grads:
-                        grads[key] = grads[key] + g
-                    else:
-                        grads[key] = g
-            # Leaves with requires_grad but also intermediate results that
-            # require grad get their .grad set when popped above.
-            if node.requires_grad and node is not self:
-                pass
+                for inp, g in zip(inputs, input_grads):
+                    if inp is None or g is None:
+                        continue
+                    if g.shape != inp.data.shape:
+                        raise RuntimeError(
+                            f"{type(fn).__name__} produced grad {g.shape} for "
+                            f"input {inp.data.shape}"
+                        )
+                    if inp._ctx is not None or inp.requires_grad:
+                        key = id(inp)
+                        if key in grads:
+                            grads[key] = grads[key] + g
+                        else:
+                            grads[key] = g
+                # Leaves with requires_grad but also intermediate results
+                # that require grad get their .grad set when popped above.
+                if node.requires_grad and node is not self:
+                    pass
 
     # --- operator sugar (delegates to repro.nn.ops) -----------------------------
 

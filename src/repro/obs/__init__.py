@@ -29,11 +29,17 @@ to compare the two:
 * :mod:`repro.obs.flightrec` — a flight recorder (bounded span ring
   buffer installed as a tracer sink) that failure handlers dump as a
   validated ``postmortem/v1`` bundle.
+* :mod:`repro.obs.mem` — the memory half: allocation timelines fed by
+  every tracker register/release and kernel transient, per-span peak
+  attribution and leak reports, Chrome counter tracks, and the
+  :class:`MemoryBudget` watchdog that dumps ``oom/v1`` bundles.
 * ``python -m repro.obs`` — CLI: ``trace-step`` records a tiny traced
   training step, ``report`` summarises a trace (``--critical`` appends
   attribution, ``--json`` for machines), ``diff`` checks the observed
   trace against the DES-predicted schedule, ``attribute`` runs the
-  critical-path engine and exits non-zero on a broken pin or straggler.
+  critical-path engine and exits non-zero on a broken pin or straggler,
+  ``memdiff`` gates observed peak memory against the closed-form
+  predictions of :mod:`repro.perf.memory`.
 """
 
 from repro.obs.tracer import (
@@ -88,6 +94,27 @@ from repro.obs.flightrec import (
     notify_failure,
     validate_postmortem,
 )
+from repro.obs.mem import (
+    MemEvent,
+    MemoryBudget,
+    MemoryBudgetExceeded,
+    MemoryTimeline,
+    dump_oom_postmortem,
+    leak_report,
+    memory_counter_events,
+    memory_phase,
+    memory_scope,
+    peak_attribution,
+    timeline_json,
+    transient_alloc,
+    transient_free,
+    transient_scope,
+    use_memory_budget,
+    use_memory_timeline,
+    validate_memdiff_json,
+    validate_memory_timeline,
+    validate_oom_postmortem,
+)
 
 __all__ = [
     "Counter",
@@ -95,6 +122,10 @@ __all__ = [
     "FlowEdge",
     "Gauge",
     "Histogram",
+    "MemEvent",
+    "MemoryBudget",
+    "MemoryBudgetExceeded",
+    "MemoryTimeline",
     "MetricsRegistry",
     "NOOP_SPAN",
     "Span",
@@ -106,25 +137,40 @@ __all__ = [
     "derive_flows",
     "diff_json",
     "diff_traces",
+    "dump_oom_postmortem",
     "flow_key",
     "get_active_recorder",
     "get_registry",
     "get_tracer",
+    "leak_report",
     "load_trace",
+    "memory_counter_events",
+    "memory_phase",
+    "memory_scope",
     "notify_failure",
+    "peak_attribution",
     "render_attribution",
     "report_json",
     "spans_to_chrome_json",
     "straggler_ranking",
+    "timeline_json",
     "trace_span",
     "traced",
     "tracing_enabled",
+    "transient_alloc",
+    "transient_free",
+    "transient_scope",
+    "use_memory_budget",
+    "use_memory_timeline",
     "use_tracing",
     "validate_attribution_json",
     "validate_chrome_trace",
     "validate_diff_json",
     "validate_flow_events",
+    "validate_memdiff_json",
+    "validate_memory_timeline",
     "validate_metrics_jsonl",
+    "validate_oom_postmortem",
     "validate_postmortem",
     "validate_report_json",
     "write_step_metrics",

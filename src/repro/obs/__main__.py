@@ -39,6 +39,11 @@ def _cmd_trace_step(args: argparse.Namespace) -> int:
     from repro.nn.checkpoint import CheckpointMode, CheckpointPolicy
     from repro.nn.modules import TransformerConfig
     from repro.obs.export import spans_to_chrome_json, validate_chrome_trace
+    from repro.obs.mem import (
+        timeline_json,
+        use_memory_timeline,
+        validate_memory_timeline,
+    )
     from repro.obs.report import build_predicted_trace
     from repro.obs.tracer import use_tracing
     from repro.perf.schedules.attention import AttentionWorkload
@@ -48,6 +53,7 @@ def _cmd_trace_step(args: argparse.Namespace) -> int:
     trace_path = os.path.join(args.out_dir, "trace.json")
     metrics_path = os.path.join(args.out_dir, "metrics.jsonl")
     predicted_path = os.path.join(args.out_dir, "predicted.json")
+    timeline_path = os.path.join(args.out_dir, "memory-timeline.json")
     if os.path.exists(metrics_path):
         os.remove(metrics_path)
 
@@ -75,10 +81,13 @@ def _cmd_trace_step(args: argparse.Namespace) -> int:
     targets = rng.integers(0, 128, args.seq)
     trainer = Trainer(engine=engine, metrics_path=metrics_path)
     with use_tracing() as tracer:
-        trainer.fit([(ids, targets)], steps=args.steps)
+        with use_memory_timeline() as timeline:
+            trainer.fit([(ids, targets)], steps=args.steps)
+            mem_events = timeline.events()
     spans = tracer.spans()
     payload = spans_to_chrome_json(
         spans, trace_path,
+        memory_events=mem_events,
         metadata={
             "method": args.method,
             "world_size": topology.world_size,
@@ -94,6 +103,13 @@ def _cmd_trace_step(args: argparse.Namespace) -> int:
     validate_chrome_trace(payload)
     print(f"wrote {trace_path} ({len(spans)} spans)")
     print(f"wrote {metrics_path} ({args.steps} step record(s))")
+    tl_payload = timeline_json(
+        timeline, timeline_path,
+        metadata={"method": args.method, "seq_len": args.seq,
+                  "steps": args.steps},
+    )
+    validate_memory_timeline(tl_payload)
+    print(f"wrote {timeline_path} ({len(mem_events)} memory events)")
     try:
         workload = AttentionWorkload(
             seq_len=args.seq, hidden=32, n_heads=4
@@ -106,6 +122,302 @@ def _cmd_trace_step(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"skipped predicted trace: {exc}")
     return 0
+
+
+def _memdiff_cell(method, policy_mode, ring_mode, seq, chunk=None):
+    """Run one traced step and return (observed, predicted, analysis)."""
+    import numpy as np
+
+    from repro.engine import BurstEngine, EngineConfig
+    from repro.engine.trainer import Trainer
+    from repro.nn.checkpoint import CheckpointMode, CheckpointPolicy
+    from repro.nn.memory import get_tracker
+    from repro.nn.modules import TransformerConfig
+    from repro.obs.mem import (
+        leak_report,
+        peak_attribution,
+        use_memory_timeline,
+    )
+    from repro.obs.tracer import use_tracing
+    from repro.perf.memory import predict_step_peak_saved_bytes
+    from repro.topology import a800_node, make_cluster
+
+    # The quickstart model has 4 heads; Ulysses needs heads % world == 0,
+    # so its cells run on a 4-GPU cluster (saved bytes are world-
+    # independent: the simulation registers full-sequence tensors).
+    world = 4 if method == "ulysses" else 8
+    topology = make_cluster(world, node=a800_node(gpus_per_node=4))
+    method_kwargs = (
+        {"ring_mode": ring_mode}
+        if method == "burst" and ring_mode != "unidirectional"
+        else {}
+    )
+    config = EngineConfig(
+        model=TransformerConfig(
+            vocab_size=128, dim=32, n_layers=2, n_heads=4, ffn_hidden=64,
+            max_seq_len=seq, attn_block_size=32, mlp_chunk_size=chunk,
+        ),
+        method=method,
+        method_kwargs=method_kwargs,
+        checkpoint=CheckpointPolicy(CheckpointMode(policy_mode), 0.5),
+        head_impl="fused",
+    )
+    engine = BurstEngine(config, topology=topology)
+    rng = np.random.default_rng(0)
+    batch = (rng.integers(0, 128, seq), rng.integers(0, 128, seq))
+    with use_tracing() as tracer:
+        with use_memory_timeline() as timeline:
+            Trainer(engine=engine).fit([batch], steps=1)
+            events = timeline.events()
+    observed = get_tracker().peak_saved_bytes
+    predicted = predict_step_peak_saved_bytes(
+        seq_len=seq, dim=32, n_layers=2, n_heads=4, ffn_hidden=64,
+        vocab=128, checkpoint=policy_mode, split_fraction=0.5,
+        head_impl="fused", fused_mlp=(chunk is not None),
+        rebuilds_context=(method != "ulysses"),
+    )
+    return {
+        "observed": observed,
+        "predicted": predicted,
+        "attribution": peak_attribution(events),
+        "leaks": leak_report(events),
+        "events": events,
+        "timeline": timeline,
+        "spans": tracer.spans(),
+    }
+
+
+def _site_peak(events, prefix: str) -> int:
+    """Max concurrent bytes of timeline allocations whose site starts
+    with ``prefix`` (replays the transient series for one subsystem)."""
+    current = peak = 0
+    for ev in events:
+        if not ev.site.startswith(prefix):
+            continue
+        current += ev.delta
+        peak = max(peak, current)
+    return peak
+
+
+def _cmd_memdiff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.mem import (
+        MEMDIFF_SCHEMA,
+        timeline_json,
+        validate_memdiff_json,
+        validate_memory_timeline,
+    )
+    from repro.perf.memory import swiglu_chunked_transient_bytes
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    seq = args.seq
+
+    if args.inject:
+        return _memdiff_inject(args, seq)
+
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    methods = ("burst", "megatron-cp", "ulysses")
+    failed = False
+    cells = []
+    first_cell = None
+    print(f"{'cell':<34} {'observed':>10} {'predicted':>10}  peak span")
+    for method in methods:
+        for policy in policies:
+            cell = _memdiff_cell(method, policy, args.ring_mode, seq)
+            if first_cell is None:
+                first_cell = cell
+            match = cell["observed"] == cell["predicted"]["peak_saved_bytes"]
+            clean = not cell["leaks"]
+            failed = failed or not match or not clean
+            attr = cell["attribution"]
+            span = attr.get("span") or "-"
+            owner = attr.get("owner", {})
+            where = (
+                f"{span} (layer={owner.get('layer')}, "
+                f"phase={owner.get('mem_phase')})"
+            )
+            status = "" if match else "  DRIFT"
+            if not clean:
+                status += f"  {len(cell['leaks'])} LEAKED"
+            label = f"{method}/{policy}"
+            print(
+                f"{label:<34} {cell['observed']:>10} "
+                f"{cell['predicted']['peak_saved_bytes']:>10}  {where}{status}"
+            )
+            cells.append({
+                "method": method,
+                "policy": policy,
+                "ring_mode": args.ring_mode if method == "burst" else None,
+                "observed_peak_bytes": cell["observed"],
+                "predicted_peak_bytes": cell["predicted"]["peak_saved_bytes"],
+                "match": match,
+                "peak_span": attr.get("span"),
+                "peak_owner": owner,
+                "top": attr.get("top", []),
+                "leaks": len(cell["leaks"]),
+            })
+
+    # Observed checkpoint-policy curve (Fig. 7, measured not asserted).
+    curve = {}
+    for policy in ("none", "full", "selective_pp", "sequence_level"):
+        cell = _memdiff_cell("burst", policy, args.ring_mode, seq)
+        curve[policy] = {
+            "observed": cell["observed"],
+            "predicted": cell["predicted"]["peak_saved_bytes"],
+        }
+        failed = failed or (
+            cell["observed"] != cell["predicted"]["peak_saved_bytes"]
+        )
+    print("checkpoint curve (observed bytes): " + ", ".join(
+        f"{p}={c['observed']}" for p, c in curve.items()
+    ))
+
+    # Chunked-MLP transient working set vs the PR-8 closed form.
+    chunk = 32
+    tcell = _memdiff_cell("burst", "sequence_level", args.ring_mode, seq,
+                          chunk=chunk)
+    t_observed = _site_peak(tcell["events"], "mlp.chunked_bwd")
+    t_predicted = swiglu_chunked_transient_bytes(seq, 32, 64, chunk)
+    t_match = t_observed == t_predicted
+    failed = failed or not t_match
+    print(
+        f"mlp transient (chunk={chunk}): observed={t_observed} "
+        f"predicted={t_predicted}{'' if t_match else '  DRIFT'}"
+    )
+
+    timeline_path = os.path.join(args.out_dir, "memory-timeline.json")
+    payload = timeline_json(
+        first_cell["timeline"],
+        timeline_path,
+        metadata={"method": "burst", "policy": policies[0], "seq_len": seq,
+                  "ring_mode": args.ring_mode},
+    )
+    validate_memory_timeline(payload)
+    print(f"wrote {timeline_path} ({len(first_cell['events'])} events)")
+
+    from repro.obs.export import spans_to_chrome_json, validate_chrome_trace
+
+    trace_path = os.path.join(args.out_dir, "memory-trace.json")
+    trace_payload = spans_to_chrome_json(
+        first_cell["spans"], trace_path,
+        metadata={"method": "burst", "seq_len": seq,
+                  "ring_mode": args.ring_mode},
+        memory_events=first_cell["events"],
+    )
+    validate_chrome_trace(trace_payload)
+    print(f"wrote {trace_path} (spans + memory counter tracks)")
+
+    doc = {
+        "schema": MEMDIFF_SCHEMA,
+        "cells": cells,
+        "curve": curve,
+        "transient": {
+            "chunk_size": chunk,
+            "observed_bytes": t_observed,
+            "predicted_bytes": t_predicted,
+            "match": t_match,
+        },
+        "ok": not failed,
+    }
+    validate_memdiff_json(doc)
+    doc_path = os.path.join(args.out_dir, "memdiff.json")
+    with open(doc_path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+    print(f"wrote {doc_path}")
+    print("memdiff: " + ("FAIL" if failed else "OK — observed peaks match "
+                         "the closed forms byte-for-byte"))
+    return 1 if failed else 0
+
+
+def _memdiff_inject(args: argparse.Namespace, seq: int) -> int:
+    """Seeded failure scenarios: must exit non-zero with an oom/v1 bundle."""
+    import numpy as np
+
+    from repro.engine import BurstEngine, EngineConfig
+    from repro.engine.trainer import Trainer
+    from repro.nn.checkpoint import CheckpointMode, CheckpointPolicy
+    from repro.nn.memory import get_tracker
+    from repro.nn.modules import TransformerConfig
+    from repro.obs.flightrec import FlightRecorder
+    from repro.obs.mem import (
+        MemoryBudget,
+        MemoryBudgetExceeded,
+        dump_oom_postmortem,
+        leak_report,
+        use_memory_timeline,
+        validate_oom_postmortem,
+    )
+    from repro.obs.tracer import use_tracing
+    from repro.topology import a800_node, make_cluster
+
+    topology = make_cluster(8, node=a800_node(gpus_per_node=4))
+    config = EngineConfig(
+        model=TransformerConfig(
+            vocab_size=128, dim=32, n_layers=2, n_heads=4, ffn_hidden=64,
+            max_seq_len=seq, attn_block_size=32,
+        ),
+        method="burst",
+        checkpoint=CheckpointPolicy(CheckpointMode.SEQUENCE_LEVEL, 0.5),
+        head_impl="fused",
+    )
+    engine = BurstEngine(config, topology=topology)
+    rng = np.random.default_rng(0)
+    batch = (rng.integers(0, 128, seq), rng.integers(0, 128, seq))
+    recorder = FlightRecorder(out_dir=args.out_dir, prefix="oom-")
+    bundle_path = None
+    with recorder, use_tracing():
+        with use_memory_timeline() as timeline:
+            if args.inject == "budget":
+                budget = MemoryBudget(
+                    limit_bytes=args.budget_bytes, raise_on_breach=True
+                )
+                try:
+                    Trainer(engine=engine, memory_budget=budget).fit(
+                        [batch], steps=1
+                    )
+                except MemoryBudgetExceeded as exc:
+                    print(f"budget breach detected: {exc}")
+                    bundle_path = budget.bundle_path
+                else:
+                    print("error: budget was never breached", file=sys.stderr)
+                    return 0  # CI inverts: 0 here means detection failed
+            else:  # leak
+                trainer = Trainer(engine=engine)
+                # Seed the leak *inside* the step so it is attributed:
+                # one register with no matching release.
+                leaked = {}
+
+                def leak_hook(tr, record):
+                    leaked["handle"] = get_tracker().register(
+                        4096, site="injected.leak"
+                    )
+
+                trainer.on_step_end = leak_hook
+                trainer.fit([batch], steps=1)
+                leaks = leak_report(timeline.events())
+                if not leaks:
+                    print("error: seeded leak went undetected", file=sys.stderr)
+                    return 0
+                print(
+                    f"leak detected: {len(leaks)} unreleased handle(s), "
+                    f"site={leaks[0]['site']}, {leaks[0]['bytes']} bytes"
+                )
+                bundle_path = dump_oom_postmortem(
+                    reason={
+                        "kind": "seeded-leak",
+                        "leaked_handles": len(leaks),
+                        "watermark_bytes": get_tracker().current_saved_bytes,
+                    },
+                    timeline=timeline,
+                )
+    if bundle_path is None:
+        print("error: no oom/v1 bundle was written", file=sys.stderr)
+        return 0
+    with open(bundle_path) as fh:
+        validate_oom_postmortem(fh.read())
+    print(f"validated oom/v1 bundle: {bundle_path}")
+    return 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -263,6 +575,32 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--top", type=int, default=5,
                    help="critical spans to list")
     p.set_defaults(fn=_cmd_attribute)
+
+    p = sub.add_parser(
+        "memdiff",
+        help="gate observed peak memory against the closed-form predictions",
+    )
+    p.add_argument("--out-dir", required=True)
+    p.add_argument("--seq", type=int, default=128)
+    p.add_argument(
+        "--policies", default="sequence_level,full",
+        help="comma-separated checkpoint policies gated per method",
+    )
+    p.add_argument(
+        "--ring-mode", default="unidirectional",
+        choices=["unidirectional", "bidirectional"],
+        help="ring transport for the burst cells",
+    )
+    p.add_argument(
+        "--inject", default=None, choices=["leak", "budget"],
+        help="seed a failure; the command must then exit non-zero "
+             "with a validated oom/v1 bundle",
+    )
+    p.add_argument(
+        "--budget-bytes", type=int, default=512_000,
+        help="MemoryBudget limit for --inject budget",
+    )
+    p.set_defaults(fn=_cmd_memdiff)
 
     args = parser.parse_args(argv)
     return args.fn(args)

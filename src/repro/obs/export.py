@@ -55,6 +55,7 @@ def spans_to_chrome_json(
     metadata: dict[str, Any] | None = None,
     pid: int = OBSERVED_PID,
     process_name: str = "observed",
+    memory_events: Sequence[Any] | None = None,
 ) -> str:
     """Serialise finished spans as a Chrome trace JSON string.
 
@@ -64,6 +65,10 @@ def spans_to_chrome_json(
     carrying flow-key attributes are additionally chained into ``s``/``f``
     flow-event pairs (:mod:`repro.obs.flow`) so Perfetto draws the
     producer→consumer arrows of the causal DAG.
+
+    ``memory_events`` (a :class:`repro.obs.mem.MemoryTimeline`'s events)
+    adds counter tracks (``"ph": "C"``, one per watermark series) that
+    Perfetto renders directly under the span rows of the same process.
     """
     events: list[dict[str, Any]] = []
     # One track per (phase, source thread); the first thread seen for a
@@ -102,6 +107,10 @@ def spans_to_chrome_json(
     events.extend(
         flow_chrome_events(derive_flows(ordered), placements, pid)
     )
+    if memory_events:
+        from repro.obs.mem import memory_counter_events
+
+        events.extend(memory_counter_events(memory_events, pid=pid))
     for (_phase, _thread), (tid, name) in rows.items():
         events.append(
             {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
@@ -129,14 +138,19 @@ def validate_chrome_trace(payload: str | dict) -> dict[str, Any]:
     ``pid``/``tid``, with spans properly nested (contained or disjoint)
     per ``(pid, tid)`` track, and at least one duration event.  Flow
     events (``"s"``/``"f"``) must pair up per
-    :func:`repro.obs.flow.validate_flow_events`.  Returns the parsed
-    document on success.
+    :func:`repro.obs.flow.validate_flow_events`.  Counter events
+    (``"C"``, the memory watermark tracks) must carry a non-empty
+    ``args`` dict of non-negative numeric samples, and any sample
+    stamped with a step must fall inside that step's ``train.step``
+    span on the same process.  Returns the parsed document on success.
     """
     doc = json.loads(payload) if isinstance(payload, str) else payload
     if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
         raise ValueError("trace is not a {'traceEvents': [...]} document")
     duration_events: dict[tuple[int, int], list[dict]] = {}
     flow_events: list[dict] = []
+    counter_events: list[tuple[int, dict]] = []
+    step_spans: dict[tuple[int, Any], list[tuple[float, float]]] = {}
     n_x = 0
     for i, ev in enumerate(doc["traceEvents"]):
         if not isinstance(ev, dict) or "ph" not in ev:
@@ -145,6 +159,28 @@ def validate_chrome_trace(payload: str | dict) -> dict[str, Any]:
             continue
         if ev["ph"] in ("s", "f"):
             flow_events.append(ev)
+            continue
+        if ev["ph"] == "C":
+            for field in ("name", "ts", "pid", "tid", "args"):
+                if field not in ev:
+                    raise ValueError(
+                        f"event #{i} ({ev.get('name')!r}) missing {field!r}"
+                    )
+            args = ev["args"]
+            if not isinstance(args, dict) or not any(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                raise ValueError(
+                    f"event #{i} ({ev['name']!r}): counter event needs a "
+                    "dict of numeric args"
+                )
+            for key, value in args.items():
+                if isinstance(value, (int, float)) and value < 0:
+                    raise ValueError(
+                        f"event #{i} ({ev['name']!r}): negative counter "
+                        f"sample {key}={value}"
+                    )
+            counter_events.append((i, ev))
             continue
         if ev["ph"] != "X":
             raise ValueError(f"event #{i}: unsupported phase {ev['ph']!r}")
@@ -155,9 +191,26 @@ def validate_chrome_trace(payload: str | dict) -> dict[str, Any]:
             raise ValueError(f"event #{i} ({ev['name']!r}) has negative dur")
         n_x += 1
         duration_events.setdefault((ev["pid"], ev["tid"]), []).append(ev)
+        if ev["name"] == "train.step" and "step" in ev.get("args", {}):
+            step_spans.setdefault(
+                (ev["pid"], ev["args"]["step"]), []
+            ).append((ev["ts"], ev["ts"] + ev["dur"]))
     if n_x == 0:
         raise ValueError("trace contains zero duration events")
     validate_flow_events(flow_events)
+    eps_c = 0.002  # us; same rounding slack as the nesting check
+    for i, ev in counter_events:
+        step = ev["args"].get("step")
+        if step is None:
+            continue
+        spans = step_spans.get((ev["pid"], step))
+        if not spans:
+            continue  # counter-only exports carry no step spans
+        if not any(lo - eps_c <= ev["ts"] <= hi + eps_c for lo, hi in spans):
+            raise ValueError(
+                f"event #{i} ({ev['name']!r}): counter sample at ts="
+                f"{ev['ts']} falls outside its step-{step} span"
+            )
     eps = 0.002  # us; absorbs the exporters' 3-decimal rounding
     for (pid, tid), evs in duration_events.items():
         evs.sort(key=lambda e: (e["ts"], -e["dur"]))

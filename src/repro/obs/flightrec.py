@@ -129,13 +129,18 @@ class FlightRecorder:
         *,
         reason: dict[str, Any],
         detector: Any = None,
+        schema: str = POSTMORTEM_SCHEMA,
+        extra: dict[str, Any] | None = None,
     ) -> str:
         """Write a ``postmortem/v1`` bundle; returns its path.
 
         ``reason`` describes why the dump happened (must carry at least a
         ``kind``); ``detector`` is an optional
         :class:`~repro.comm.failure.FailureDetector` whose lease state is
-        embedded.
+        embedded.  Derived bundle flavours (``oom/v1``) pass their own
+        ``schema`` tag plus ``extra`` top-level blocks; everything else —
+        ring buffer, metrics snapshot, critical path, validation — is
+        shared machinery.
         """
         from repro.obs.critical import critical_spans
         from repro.obs.metrics import get_registry
@@ -146,7 +151,7 @@ class FlightRecorder:
             if spans else {"traceEvents": []}
         )
         bundle = {
-            "schema": POSTMORTEM_SCHEMA,
+            "schema": schema,
             "reason": dict(reason),
             "trace": trace,
             "metrics": get_registry().snapshot(),
@@ -155,6 +160,13 @@ class FlightRecorder:
             "n_spans": len(spans),
             "capacity": self.capacity,
         }
+        if extra:
+            for key, value in extra.items():
+                if key in bundle:
+                    raise ValueError(
+                        f"extra block {key!r} would shadow a bundle key"
+                    )
+                bundle[key] = value
         if path is None:
             out_dir = self.out_dir or "."
             os.makedirs(out_dir, exist_ok=True)
@@ -210,13 +222,18 @@ def notify_failure(
     return rec.dump(reason=reason, detector=detector)
 
 
-def validate_postmortem(payload: str | dict) -> dict[str, Any]:
+def validate_postmortem(
+    payload: str | dict, schema: str = POSTMORTEM_SCHEMA
+) -> dict[str, Any]:
     """Strictly validate a post-mortem bundle; raise ``ValueError``.
 
     Accepts the bundle JSON text or the parsed dict.  Checks the schema
-    tag, required keys, a structured ``reason`` (must name a ``kind``),
-    span-count consistency, and — when spans were captured — runs the
-    full Chrome-trace validation over the embedded trace.
+    tag (``schema`` selects the expected flavour — ``oom/v1`` bundles are
+    validated through :func:`repro.obs.mem.validate_oom_postmortem`,
+    which calls back here), required keys, a structured ``reason`` (must
+    name a ``kind``), span-count consistency, and — when spans were
+    captured — runs the full Chrome-trace validation over the embedded
+    trace.
     """
     if isinstance(payload, str):
         try:
@@ -230,10 +247,10 @@ def validate_postmortem(payload: str | dict) -> dict[str, Any]:
     missing = [k for k in POSTMORTEM_KEYS if k not in doc]
     if missing:
         raise ValueError(f"post-mortem bundle missing keys: {missing}")
-    if doc["schema"] != POSTMORTEM_SCHEMA:
+    if doc["schema"] != schema:
         raise ValueError(
             f"post-mortem bundle has schema {doc['schema']!r}, "
-            f"expected {POSTMORTEM_SCHEMA!r}"
+            f"expected {schema!r}"
         )
     reason = doc["reason"]
     if not isinstance(reason, dict) or not reason.get("kind"):

@@ -290,3 +290,207 @@ def checkpoint_memory_curve(
         )
         out.append(mm.activation_bytes(setup) / GB)
     return out
+
+
+# --- byte-exact closed forms for the live numpy engine -----------------------
+#
+# The analytic model above speaks in bf16 bytes and the paper's ~17x
+# activation factor; the functions below instead predict — to the byte —
+# what the live float64 engine's MemoryTracker registers for a whole
+# training step, generalising the PR-8 SwiGLU pins to every component.
+# ``python -m repro.obs memdiff`` holds the tracker to these numbers.
+
+
+def rms_norm_saved_elems(seq_len: int, dim: int) -> int:
+    """Elements one RMSNorm forward saves: ``Mul(x,x)`` (2SD), ``Pow``
+    of the variance row (S), ``Mul(x, inv)`` (SD + S) and the weight
+    scale ``Mul(., w)`` (SD + D)."""
+    return 4 * seq_len * dim + 2 * seq_len + dim
+
+
+def attention_proj_saved_elems(
+    seq_len: int, dim: int, kv_dim: int | None = None
+) -> int:
+    """Elements the four attention projections save: each ``MatMul``
+    keeps its input (S, D) plus the (transposed-view) weight matrix."""
+    kv = dim if kv_dim is None else kv_dim
+    return 2 * (seq_len * dim + dim * dim) + 2 * (seq_len * dim + dim * kv)
+
+
+def attention_node_saved_elems(
+    seq_len: int, dim: int, n_heads: int, kv_dim: int | None = None
+) -> int:
+    """Elements the distributed-attention node saves for its backward:
+    ``(q, k, v, o, lse)`` in head layout."""
+    kv = dim if kv_dim is None else kv_dim
+    return 2 * seq_len * dim + 2 * seq_len * kv + n_heads * seq_len
+
+
+def attention_context_elems(
+    seq_len: int, dim: int, n_heads: int, kv_dim: int | None = None
+) -> int:
+    """Extra context bytes held by methods that cannot rebuild their
+    forward context in backward (Ulysses/USP keep the per-rank head-layout
+    shards ``q_h``/``k_h``/``v_h``/``o_h``/``lse_h``)."""
+    kv = dim if kv_dim is None else kv_dim
+    return 2 * seq_len * dim + 2 * seq_len * kv + n_heads * seq_len
+
+
+def attention_cache_elems(
+    seq_len: int,
+    dim: int,
+    n_heads: int,
+    checkpoint: str,
+    split_fraction: float = 0.5,
+) -> int:
+    """Elements the attention-output whitelist cache pins per layer:
+    ``(o, lse)`` rows for the cached suffix (all of them for
+    selective++, none for ``none``/``full``)."""
+    if checkpoint == "selective_pp":
+        rows = seq_len
+    elif checkpoint == "sequence_level":
+        rows = seq_len - int(round(seq_len * split_fraction))
+    else:
+        rows = 0
+    return rows * (dim + n_heads)
+
+
+def transformer_layer_saved_elems(
+    seq_len: int,
+    dim: int,
+    n_heads: int,
+    ffn_hidden: int,
+    *,
+    kv_dim: int | None = None,
+    fused_mlp: bool = False,
+    rebuilds_context: bool = True,
+) -> int:
+    """Elements one un-checkpointed transformer block saves end to end:
+    two norms, the four projections, the attention node (plus kept
+    context for non-rebuilding methods), and the FFN (composed or fused
+    per the PR-8 pins)."""
+    ffn = (
+        swiglu_fused_saved_bytes(seq_len, dim, ffn_hidden, bytes_per_elem=1)
+        if fused_mlp
+        else swiglu_dense_saved_bytes(seq_len, dim, ffn_hidden, bytes_per_elem=1)
+    )
+    ctx = (
+        0
+        if rebuilds_context
+        else attention_context_elems(seq_len, dim, n_heads, kv_dim)
+    )
+    return (
+        2 * rms_norm_saved_elems(seq_len, dim)
+        + attention_proj_saved_elems(seq_len, dim, kv_dim)
+        + attention_node_saved_elems(seq_len, dim, n_heads, kv_dim)
+        + ctx
+        + ffn
+    )
+
+
+def lm_head_saved_bytes_live(
+    seq_len: int, dim: int, vocab: int, head_impl: str = "fused"
+) -> int:
+    """Bytes the LM-head loss node registers: the saved ``(dH, dW)``
+    gradients plus the implementation's resident footprint (full logits
+    for naive, lse rows for tiled-recompute, nothing for fused — the
+    Fig. 8 effect, measured)."""
+    saved = (seq_len * dim + vocab * dim) * BYTES_F64
+    resident = {
+        "naive": seq_len * vocab * BYTES_F64,
+        "tiled-recompute": seq_len * BYTES_F64,
+        "fused": 0,
+    }
+    try:
+        return saved + resident[head_impl]
+    except KeyError:
+        raise ValueError(f"unknown head impl {head_impl!r}")
+
+
+def predict_step_peak_saved_bytes(
+    *,
+    seq_len: int,
+    dim: int,
+    n_layers: int,
+    n_heads: int,
+    ffn_hidden: int,
+    vocab: int,
+    checkpoint: str = "sequence_level",
+    split_fraction: float = 0.5,
+    head_impl: str = "fused",
+    kv_dim: int | None = None,
+    fused_mlp: bool = False,
+    rebuilds_context: bool = True,
+) -> dict:
+    """Byte-exact peak of ``MemoryTracker.peak_saved_bytes`` over one step.
+
+    Without checkpointing the peak lands at the end of the forward: every
+    layer's full body plus the final norm and the head.  With any
+    checkpointing policy the forward keeps only layer inputs (+ the
+    whitelist cache), and the peak is usually hit mid-backward while the
+    *last* layer replays its full body on top of all the other layers'
+    still-live inputs and caches; the prediction takes the max of both
+    candidates.  Methods that cannot rebuild context (Ulysses) neither
+    cache attention outputs nor drop their forward context, which the
+    flags mirror.
+    """
+    full_layer = transformer_layer_saved_elems(
+        seq_len, dim, n_heads, ffn_hidden,
+        kv_dim=kv_dim, fused_mlp=fused_mlp,
+        rebuilds_context=rebuilds_context,
+    )
+    cache = (
+        attention_cache_elems(
+            seq_len, dim, n_heads, checkpoint, split_fraction
+        )
+        if rebuilds_context
+        else 0  # no context rebuild -> the whitelist cache never engages
+    )
+    norm = rms_norm_saved_elems(seq_len, dim)
+    head = lm_head_saved_bytes_live(seq_len, dim, vocab, head_impl)
+    if checkpoint == "none":
+        forward_peak = n_layers * full_layer * BYTES_F64 + norm * BYTES_F64 + head
+        backward_peak = forward_peak
+    else:
+        forward_peak = (
+            n_layers * (seq_len * dim + cache) + norm
+        ) * BYTES_F64 + head
+        # Deepest replay: layer L-1 re-registers its full body while all
+        # L inputs and the other L-1 layers' caches are still live.
+        backward_peak = (
+            n_layers * seq_len * dim + (n_layers - 1) * cache + full_layer
+        ) * BYTES_F64
+    return {
+        "peak_saved_bytes": max(forward_peak, backward_peak),
+        "forward_peak_bytes": forward_peak,
+        "backward_peak_bytes": backward_peak,
+        "per_layer_saved_bytes": full_layer * BYTES_F64,
+        "cache_bytes_per_layer": cache * BYTES_F64,
+        "lm_head_bytes": head,
+        "checkpoint": checkpoint,
+    }
+
+
+def predict_checkpoint_policy_curve(
+    *,
+    seq_len: int,
+    dim: int,
+    n_layers: int,
+    n_heads: int,
+    ffn_hidden: int,
+    vocab: int,
+    split_fraction: float = 0.5,
+    head_impl: str = "fused",
+    policies: tuple = ("none", "full", "selective_pp", "sequence_level"),
+    **kwargs,
+) -> dict:
+    """The Fig. 7 curve for the live engine: policy -> predicted step
+    peak, byte-exact (``memdiff`` checks the measured curve against it)."""
+    return {
+        policy: predict_step_peak_saved_bytes(
+            seq_len=seq_len, dim=dim, n_layers=n_layers, n_heads=n_heads,
+            ffn_hidden=ffn_hidden, vocab=vocab, checkpoint=policy,
+            split_fraction=split_fraction, head_impl=head_impl, **kwargs,
+        )["peak_saved_bytes"]
+        for policy in policies
+    }
